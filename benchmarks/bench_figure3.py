@@ -1,0 +1,17 @@
+"""Bench for Figure 3: robustness to worker error rates 0.05/0.15/0.25."""
+
+from repro.experiments import figure3
+
+SCALE = 0.3
+
+
+def test_figure3(benchmark, show):
+    result = benchmark.pedantic(
+        figure3.run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 4 * 3
+    # Shape check: Remp F1 stays reasonably stable across error rates.
+    for dataset in ("iimb", "dblp_acm"):
+        f1s = [result.raw[(dataset, e)]["Remp"][0] for e in (0.05, 0.15, 0.25)]
+        assert max(f1s) - min(f1s) < 0.25

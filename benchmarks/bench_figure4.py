@@ -1,0 +1,15 @@
+"""Bench for Figure 4: pair completeness w.r.t. the pruning parameter k."""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, show):
+    result = benchmark.pedantic(
+        figure4.run, kwargs={"scale": 0.6, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 4
+    # Shape check: pair completeness is non-decreasing in k.
+    for series in result.raw.values():
+        values = [series[k] for k in sorted(series)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,24 @@
+"""Bench for Figure 5: Remp vs MaxInf vs MaxPr question-selection curves."""
+
+from repro.experiments import figure5
+
+SCALE = 0.3
+
+
+def test_figure5(benchmark, show):
+    result = benchmark.pedantic(
+        figure5.run,
+        kwargs={"scale": SCALE, "seed": 0, "budgets": (1, 2, 4, 8, 16, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    assert len(result.rows) == 4 * 3
+    # Shape check: at the final budget, Remp's benefit function is at least
+    # as good as MaxPr on every dataset (MaxPr ignores inference power).
+    wins = sum(
+        1
+        for series in result.raw.values()
+        if series["remp"][-1] >= series["maxpr"][-1] - 1e-9
+    )
+    assert wins >= 3

@@ -1,0 +1,15 @@
+"""Bench for Figure 6: scaling of Algorithms 1–3 with the pair count."""
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, show):
+    result = benchmark.pedantic(
+        figure6.run, kwargs={"scale": 1.0, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 4
+    # Shape check: Algorithm 1 time grows with the candidate portion.
+    alg1 = result.raw["alg1"]
+    portions = sorted(alg1)
+    assert alg1[portions[-1]] >= alg1[portions[0]]

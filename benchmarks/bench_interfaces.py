@@ -1,0 +1,46 @@
+"""Bench: pairwise vs multi-item question-interface cost (Related Work).
+
+CrowdER-style packing amortizes the per-question fee across the entities a
+task shows; on star-shaped pair sets (one entity vs many candidates — the
+common blocking output) the saving approaches k/2.
+"""
+
+import random
+
+from repro.crowd.interfaces import multi_item_cost, pack_questions, pairwise_cost
+
+
+def _star_pairs(num_stars=30, leaves=6, seed=0):
+    rng = random.Random(seed)
+    pairs = []
+    for star in range(num_stars):
+        center = f"c{star}"
+        for leaf in range(leaves):
+            pairs.append((center, f"l{star}_{leaf}"))
+    rng.shuffle(pairs)
+    return pairs
+
+
+def test_multi_item_packing(benchmark):
+    pairs = _star_pairs()
+    questions = benchmark(pack_questions, pairs, 6)
+    assert all(len(q.entities) <= 6 for q in questions)
+    saving = 1 - len(questions) / pairwise_cost(pairs)
+    print(f"\n  pairwise cost={pairwise_cost(pairs)} multi-item cost={len(questions)} "
+          f"saving={saving:.0%}")
+    assert len(questions) < pairwise_cost(pairs)
+
+
+def test_cost_crossover_with_k(benchmark):
+    pairs = _star_pairs(num_stars=15, leaves=5)
+
+    def sweep():
+        return {k: multi_item_cost(pairs, k) for k in (2, 3, 4, 6, 8)}
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for k, cost in costs.items():
+        print(f"  k={k}: {cost} questions (pairwise {pairwise_cost(pairs)})")
+    # Larger questions are never more expensive.
+    ks = sorted(costs)
+    assert all(costs[b] <= costs[a] for a, b in zip(ks, ks[1:]))

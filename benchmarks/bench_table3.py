@@ -1,0 +1,16 @@
+"""Bench for Table III: Remp vs HIKE/POWER/Corleone with real-quality workers."""
+
+from repro.experiments import table3
+
+SCALE = 0.4
+
+
+def test_table3(benchmark, show):
+    result = benchmark.pedantic(
+        table3.run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 4
+    # Shape check: Remp asks fewer questions than Corleone on every dataset.
+    for cells in result.raw.values():
+        assert cells["Remp"][1] <= cells["Corleone"][1]

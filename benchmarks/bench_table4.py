@@ -1,0 +1,14 @@
+"""Bench for Table IV: attribute matching with vs without the 1:1 constraint."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, show):
+    result = benchmark.pedantic(
+        table4.run, kwargs={"scale": 1.0, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 2
+    # Shape check: the 1:1 constraint never hurts precision.
+    for values in result.raw.values():
+        assert values["with"].precision >= values["without"].precision - 1e-9

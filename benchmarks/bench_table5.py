@@ -1,0 +1,20 @@
+"""Bench for Table V: partial-order pruning statistics at k = 4."""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, show):
+    result = benchmark.pedantic(
+        table5.run, kwargs={"scale": 1.0, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 4
+    for dataset, values in result.raw.items():
+        # Pair completeness survives pruning almost unchanged.
+        assert values["pc_retained"] >= values["pc_candidates"] - 0.05
+        # The partial order is almost perfect (error rate a few percent).
+        assert values["error_rate"] < 0.1
+    # D-Y has the weakest pair completeness (missing labels), as in the paper.
+    assert result.raw["dbpedia_yago"]["pc_candidates"] == min(
+        v["pc_candidates"] for v in result.raw.values()
+    )

@@ -1,0 +1,20 @@
+"""Bench for Table VI: propagation-only Remp vs PARIS vs SiGMa over seeds."""
+
+from repro.experiments import table6
+
+SCALE = 0.3
+
+
+def test_table6(benchmark, show):
+    result = benchmark.pedantic(
+        table6.run,
+        kwargs={"scale": SCALE, "seed": 0, "repetitions": 3},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    assert len(result.rows) == 4 * 3
+    for dataset, scores in result.raw.items():
+        # Shape check: everyone improves with more seeds.
+        for name in ("Remp", "PARIS", "SiGMa"):
+            assert scores[name][-1] >= scores[name][0] - 0.05

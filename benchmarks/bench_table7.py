@@ -1,0 +1,19 @@
+"""Bench for Table VII: varying the questions-per-loop threshold µ."""
+
+from repro.experiments import table7
+
+SCALE = 0.4
+
+
+def test_table7(benchmark, show):
+    result = benchmark.pedantic(
+        table7.run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 4
+    for cells in result.raw.values():
+        f1_1, q_1, loops_1 = cells[1]
+        f1_20, q_20, loops_20 = cells[20]
+        # Shape checks: F1 stable in mu; loop count drops sharply with mu.
+        assert abs(f1_1 - f1_20) < 0.2
+        assert loops_20 <= loops_1

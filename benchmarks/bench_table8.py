@@ -1,0 +1,18 @@
+"""Bench for Table VIII: isolated-pair inference quality."""
+
+from repro.experiments import table8
+
+SCALE = 0.6
+
+
+def test_table8(benchmark, show):
+    result = benchmark.pedantic(
+        table8.run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 4
+    shares = {d: v["isolated_share"] for d, v in result.raw.items()}
+    # Shape check: isolated share ordering matches Table II's profile design.
+    assert shares["iimb"] < shares["imdb_yago"] < shares["dbpedia_yago"]
+    # The forest only becomes competitive where isolated matches dominate.
+    assert result.raw["dbpedia_yago"]["forest_f1"] > result.raw["iimb"]["forest_f1"] - 0.2

@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (table or figure) at
+a reduced dataset scale, timing the full driver via pytest-benchmark and
+printing the same rows the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def show():
+    """Print a rendered experiment table beneath the benchmark output."""
+
+    def _show(result):
+        print()
+        print(result.render())
+        return result
+
+    return _show

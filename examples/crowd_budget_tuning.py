@@ -1,0 +1,60 @@
+"""Explore the cost/latency/quality trade-offs of the crowdsourcing loop.
+
+Three knobs matter in practice:
+
+* the **budget** — the hard cap on paid questions (Definition 1);
+* **µ** — questions per human–machine loop (latency vs over-asking);
+* the **selection strategy** — Remp's benefit function vs the MaxInf and
+  MaxPr heuristics.
+
+This script sweeps each knob on the DBpedia-YAGO-like profile and prints
+compact tables, mirroring the paper's Table VII and Figure 5 analyses.
+
+Run with::
+
+    python examples/crowd_budget_tuning.py
+"""
+
+from repro.core import Remp, RempConfig
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.eval import evaluate_matches
+
+
+def main() -> None:
+    bundle = load_dataset("dbpedia_yago", seed=5, scale=0.4)
+    state = Remp().prepare(bundle.kb1, bundle.kb2)
+    print(f"Gold matches: {len(bundle.gold_matches)}, retained pairs: {len(state.retained)}")
+
+    print("\n-- budget sweep (mu=10) --")
+    for budget in (10, 25, 50, 100):
+        config = RempConfig(budget=budget)
+        platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        result = Remp(config).run(bundle.kb1, bundle.kb2, platform, state=state)
+        quality = evaluate_matches(result.matches, bundle.gold_matches)
+        print(f"  budget={budget:4d}: F1={quality.f1:6.1%} #Q={result.questions_asked}")
+
+    print("\n-- mu sweep (latency vs questions) --")
+    for mu in (1, 5, 10, 20):
+        config = RempConfig(mu=mu)
+        platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        result = Remp(config).run(bundle.kb1, bundle.kb2, platform, state=state)
+        quality = evaluate_matches(result.matches, bundle.gold_matches)
+        print(
+            f"  mu={mu:2d}: F1={quality.f1:6.1%} #Q={result.questions_asked} "
+            f"loops={result.num_loops}"
+        )
+
+    print("\n-- selection strategy (budget=30, mu=1) --")
+    for strategy in ("remp", "maxinf", "maxpr"):
+        config = RempConfig(mu=1, budget=30, isolated_seed_questions=0)
+        platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        result = Remp(config).run(
+            bundle.kb1, bundle.kb2, platform, strategy=strategy, state=state
+        )
+        quality = evaluate_matches(result.matches, bundle.gold_matches)
+        print(f"  {strategy:7s}: F1={quality.f1:6.1%} #Q={result.questions_asked}")
+
+
+if __name__ == "__main__":
+    main()

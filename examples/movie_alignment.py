@@ -1,0 +1,53 @@
+"""Align two movie knowledge bases with noisy simulated crowd workers.
+
+The IMDB-YAGO-like profile from the dataset suite: renamed schemas
+(``actedIn`` vs ``performedIn``), noisy labels and a large share of
+isolated writer entities.  The script compares three worker error rates
+and shows how error-tolerant truth inference keeps the result stable —
+the single-dataset version of the paper's Figure 3.
+
+Run with::
+
+    python examples/movie_alignment.py
+"""
+
+from repro.core import Remp
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.eval import evaluate_matches
+from repro.kb import describe
+
+
+def main() -> None:
+    bundle = load_dataset("imdb_yago", seed=7, scale=0.5)
+    print("KB1:", describe(bundle.kb1).as_row())
+    print("KB2:", describe(bundle.kb2).as_row())
+    print("Gold matches:", len(bundle.gold_matches))
+    print()
+
+    remp = Remp()
+    state = remp.prepare(bundle.kb1, bundle.kb2)
+    print(f"Candidates: {len(state.candidates.pairs)}  retained: {len(state.retained)}")
+    print("Attribute matches found:")
+    for match in state.attribute_matches:
+        print(f"  {match.attr1:16s} <-> {match.attr2:22s} sim={match.similarity:.2f}")
+    print()
+
+    for error_rate in (0.05, 0.15, 0.25):
+        platform = CrowdPlatform.with_simulated_workers(
+            bundle.gold_matches,
+            num_workers=50,
+            error_rate=error_rate,
+            workers_per_question=5,
+            seed=1,
+        )
+        result = remp.run(bundle.kb1, bundle.kb2, platform, state=state)
+        quality = evaluate_matches(result.matches, bundle.gold_matches)
+        print(
+            f"error_rate={error_rate:.2f}: {quality.as_row()}  "
+            f"#Q={result.questions_asked} loops={result.num_loops}"
+        )
+
+
+if __name__ == "__main__":
+    main()

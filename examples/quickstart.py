@@ -1,0 +1,86 @@
+"""Quickstart: resolve two small knowledge bases with Remp.
+
+Builds two toy movie KBs by hand, runs the full crowdsourced collective ER
+pipeline with a perfect oracle standing in for the crowd, and prints what
+was asked, inferred and classified.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import Remp
+from repro.crowd import CrowdPlatform
+from repro.eval import evaluate_matches
+from repro.kb import KnowledgeBase
+
+
+def build_yago_like() -> KnowledgeBase:
+    kb = KnowledgeBase("yago-mini")
+    kb.add_entity("y:TimRobbins", label="Tim Robbins")
+    kb.add_attribute_triple("y:TimRobbins", "birth_date", "1958-10-16")
+    kb.add_entity("y:Cradle", label="Cradle Will Rock")
+    kb.add_attribute_triple("y:Cradle", "release", "1999-12-08")
+    kb.add_entity("y:Player", label="The Player")
+    kb.add_attribute_triple("y:Player", "release", "1992-04-03")
+    kb.add_entity("y:JoanCusack", label="Joan Cusack")
+    kb.add_attribute_triple("y:JoanCusack", "birth_date", "1962-10-11")
+    kb.add_entity("y:Evanston", label="Evanston Illinois")
+    kb.add_relationship_triple("y:TimRobbins", "directed", "y:Cradle")
+    kb.add_relationship_triple("y:TimRobbins", "actedIn", "y:Player")
+    kb.add_relationship_triple("y:JoanCusack", "actedIn", "y:Cradle")
+    kb.add_relationship_triple("y:JoanCusack", "wasBornIn", "y:Evanston")
+    return kb
+
+
+def build_dbpedia_like() -> KnowledgeBase:
+    kb = KnowledgeBase("dbpedia-mini")
+    kb.add_entity("d:Tim_Robbins", label="Tim Robbins")
+    kb.add_attribute_triple("d:Tim_Robbins", "born", "1958-10-16")
+    kb.add_entity("d:Cradle_Will_Rock", label="Cradle Will Rock")
+    kb.add_attribute_triple("d:Cradle_Will_Rock", "released", "1999-12-08")
+    kb.add_entity("d:The_Player", label="The Player")
+    kb.add_attribute_triple("d:The_Player", "released", "1992-04-03")
+    kb.add_entity("d:Joan_Cusack", label="Joan Cusack")
+    kb.add_attribute_triple("d:Joan_Cusack", "born", "1962-10-11")
+    kb.add_entity("d:Evanston", label="Evanston Illinois")
+    kb.add_relationship_triple("d:Tim_Robbins", "director", "d:Cradle_Will_Rock")
+    kb.add_relationship_triple("d:Tim_Robbins", "starring", "d:The_Player")
+    kb.add_relationship_triple("d:Joan_Cusack", "starring", "d:Cradle_Will_Rock")
+    kb.add_relationship_triple("d:Joan_Cusack", "birthPlace", "d:Evanston")
+    return kb
+
+
+def main() -> None:
+    kb1 = build_yago_like()
+    kb2 = build_dbpedia_like()
+
+    gold = {
+        ("y:TimRobbins", "d:Tim_Robbins"),
+        ("y:Cradle", "d:Cradle_Will_Rock"),
+        ("y:Player", "d:The_Player"),
+        ("y:JoanCusack", "d:Joan_Cusack"),
+        ("y:Evanston", "d:Evanston"),
+    }
+
+    # A crowd platform; here the "crowd" is a perfect oracle answering from
+    # the gold standard.  Swap in CrowdPlatform.with_simulated_workers to
+    # see error-tolerant truth inference at work.
+    platform = CrowdPlatform.with_oracle(gold)
+
+    remp = Remp()
+    result = remp.run(kb1, kb2, platform)
+
+    print("Questions asked:", result.questions_asked)
+    for record in result.history:
+        print(f"  loop {record.loop_index}: asked {record.questions}")
+    print("Labeled matches: ", sorted(result.labeled_matches))
+    print("Inferred matches:", sorted(result.inferred_matches))
+    print("Isolated matches:", sorted(result.isolated_matches))
+    print()
+    quality = evaluate_matches(result.matches, gold)
+    print("Quality:", quality.as_row())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; ``pip install -e . --no-build-isolation --no-use-pep517``
+falls back to this file.
+"""
+
+from setuptools import setup
+
+setup()

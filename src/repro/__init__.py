@@ -1,0 +1,30 @@
+"""Remp: crowdsourced collective entity resolution with relational match
+propagation — a reproduction of Huang et al., ICDE 2020.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the Remp pipeline and its stages
+* :mod:`repro.kb` — the knowledge-base data model
+* :mod:`repro.crowd` — worker simulation and the micro-task platform
+* :mod:`repro.datasets` — the synthetic evaluation datasets
+* :mod:`repro.baselines` — HIKE, POWER, Corleone, PARIS, SiGMa
+* :mod:`repro.experiments` — one driver per paper table/figure
+"""
+
+from repro.core import Remp, RempConfig
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.eval import evaluate_matches
+from repro.kb import KnowledgeBase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Remp",
+    "RempConfig",
+    "CrowdPlatform",
+    "KnowledgeBase",
+    "load_dataset",
+    "evaluate_matches",
+    "__version__",
+]

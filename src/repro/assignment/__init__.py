@@ -1,0 +1,11 @@
+"""Bipartite assignment substrate.
+
+The paper solves the 1:1 attribute-matching selection as a bipartite graph
+matching problem with the Hungarian algorithm (Section IV-C).  We implement
+the Kuhn–Munkres algorithm from scratch; :mod:`scipy` is used only in the
+test suite for cross-validation.
+"""
+
+from repro.assignment.hungarian import hungarian_max, hungarian_min
+
+__all__ = ["hungarian_max", "hungarian_min"]

@@ -1,0 +1,97 @@
+"""Hungarian (Kuhn–Munkres) algorithm for the linear assignment problem.
+
+Implemented as the O(n³) shortest-augmenting-path variant on dual
+potentials, operating on rectangular matrices (rows <= columns are handled
+by transposing internally).  ``hungarian_min`` minimizes total cost;
+``hungarian_max`` maximizes total profit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+Matrix = Sequence[Sequence[float]]
+
+
+def _solve_min(cost: list[list[float]]) -> list[int]:
+    """Return ``col_of_row`` for a square-or-wide cost matrix (rows <= cols).
+
+    Classic potentials formulation: for each row we grow an alternating tree
+    of tight edges until a free column is found, then augment.
+    """
+    n = len(cost)
+    m = len(cost[0])
+    inf = math.inf
+    # Potentials for rows (u) and columns (v); p[j] = row matched to column j.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    p = [0] * (m + 1)  # 1-based; p[j] = row assigned to column j (0 = free)
+    way = [0] * (m + 1)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [inf] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = inf
+            j1 = 0
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+    col_of_row = [-1] * n
+    for j in range(1, m + 1):
+        if p[j]:
+            col_of_row[p[j] - 1] = j - 1
+    return col_of_row
+
+
+def hungarian_min(cost: Matrix) -> list[tuple[int, int]]:
+    """Minimum-cost perfect matching on the smaller side of ``cost``.
+
+    Returns a list of ``(row, column)`` pairs covering every row if
+    ``rows <= cols``, otherwise every column.  An empty matrix yields an
+    empty matching.
+    """
+    rows = len(cost)
+    if rows == 0 or len(cost[0]) == 0:
+        return []
+    cols = len(cost[0])
+    if any(len(r) != cols for r in cost):
+        raise ValueError("cost matrix must be rectangular")
+    if rows <= cols:
+        col_of_row = _solve_min([list(map(float, r)) for r in cost])
+        return [(i, j) for i, j in enumerate(col_of_row) if j >= 0]
+    transposed = [[float(cost[i][j]) for i in range(rows)] for j in range(cols)]
+    row_of_col = _solve_min(transposed)
+    return [(i, j) for j, i in enumerate(row_of_col) if i >= 0]
+
+
+def hungarian_max(profit: Matrix) -> list[tuple[int, int]]:
+    """Maximum-profit matching: negate and minimize."""
+    if len(profit) == 0 or len(profit[0]) == 0:
+        return []
+    negated = [[-float(x) for x in row] for row in profit]
+    return hungarian_min(negated)

@@ -1,0 +1,33 @@
+"""Baseline ER systems the paper compares against.
+
+Crowdsourced baselines (Table III / Figure 3):
+
+* :mod:`repro.baselines.hike` — HIKE (Zhuang et al., CIKM'17): partition
+  entities by attribute signature, then monotone threshold search per
+  partition with crowd questions.
+* :mod:`repro.baselines.power` — POWER (Chai et al., VLDBJ'18): a
+  partial-order framework; crowd labels propagate along vector dominance.
+* :mod:`repro.baselines.corleone` — Corleone (Gokhale et al., SIGMOD'14):
+  hands-off active learning with random forests.
+
+Collective, non-crowd baselines (Table VI):
+
+* :mod:`repro.baselines.paris` — PARIS (Suchanek et al., VLDB'11):
+  probabilistic propagation weighted by relationship functionality.
+* :mod:`repro.baselines.sigma` — SiGMa (Lacoste-Julien et al., KDD'13):
+  greedy neighborhood-score matching.
+
+All crowdsourced baselines consume the same retained match set ``M_rd`` as
+Remp ("all methods take the same retained entity matches as input") and ask
+questions through the shared :class:`repro.crowd.CrowdPlatform`, so label
+reuse across approaches mirrors the paper's protocol.
+"""
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.corleone import Corleone
+from repro.baselines.hike import Hike
+from repro.baselines.paris import Paris
+from repro.baselines.power import Power
+from repro.baselines.sigma import SiGMa
+
+__all__ = ["BaselineResult", "Hike", "Power", "Corleone", "Paris", "SiGMa"]

@@ -1,0 +1,116 @@
+"""Corleone: hands-off crowdsourced entity matching (Gokhale et al., SIGMOD'14).
+
+Corleone trains a random forest matcher entirely from crowd labels using
+active learning: it bootstraps with a small labeled sample, then repeatedly
+asks the crowd about the pairs the current forest is least certain about,
+retrains, and stops when uncertainty is exhausted or the budget runs out.
+Its question count is naturally the highest of the compared systems — every
+labeled example is a crowd question and no relational inference exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, vector_with_prior
+from repro.core.pipeline import PreparedState
+from repro.crowd.platform import CrowdPlatform
+from repro.ml import RandomForestClassifier
+
+Pair = tuple[str, str]
+
+
+class Corleone:
+    """Active-learning random forest over the retained pairs."""
+
+    def __init__(
+        self,
+        bootstrap_size: int = 20,
+        batch_size: int = 10,
+        max_rounds: int = 25,
+        uncertainty_stop: float = 0.15,
+        forest_size: int = 40,
+        seed: int = 0,
+    ):
+        self.bootstrap_size = bootstrap_size
+        self.batch_size = batch_size
+        self.max_rounds = max_rounds
+        self.uncertainty_stop = uncertainty_stop
+        self.forest_size = forest_size
+        self.seed = seed
+
+    def run(self, state: PreparedState, platform: CrowdPlatform) -> BaselineResult:
+        pairs = sorted(state.retained)
+        if not pairs:
+            return BaselineResult("Corleone", set(), 0)
+        features = np.array([vector_with_prior(state, p) for p in pairs], dtype=float)
+        index_of = {p: i for i, p in enumerate(pairs)}
+        labels: dict[Pair, bool] = {}
+        questions = 0
+
+        # Bootstrap: half the sample from the top of the prior order (where
+        # positives are dense — Corleone samples from blocked candidates),
+        # half spread over the full range for negatives.
+        ranked = sorted(pairs, key=lambda p: -state.priors.get(p, 0.0))
+        half = self.bootstrap_size // 2
+        step = max(1, len(ranked) // max(1, self.bootstrap_size - half))
+        bootstrap = list(dict.fromkeys(ranked[:half] + ranked[::step]))
+        for pair in bootstrap[: self.bootstrap_size]:
+            labels[pair] = platform.majority_label(pair)
+            questions += 1
+
+        model = None
+        for _ in range(self.max_rounds):
+            model = self._train(features, index_of, labels)
+            if model is None:
+                # one class only: label more from the other end of the order
+                extremes = [p for p in (ranked[0], ranked[-1]) if p not in labels]
+                if not extremes:
+                    break
+                for pair in extremes:
+                    labels[pair] = platform.majority_label(pair)
+                    questions += 1
+                continue
+            proba = model.predict_proba(features)
+            uncertainty = np.abs(proba - 0.5)
+            candidates = [
+                (u, p)
+                for u, p in zip(uncertainty, pairs)
+                if p not in labels
+            ]
+            candidates.sort(key=lambda t: (t[0], t[1]))
+            batch = [p for _, p in candidates[: self.batch_size]]
+            if not batch or candidates[0][0] > self.uncertainty_stop:
+                break
+            for pair in batch:
+                labels[pair] = platform.majority_label(pair)
+                questions += 1
+
+        if model is None:
+            matches = {p for p, label in labels.items() if label}
+            return BaselineResult("Corleone", matches, questions)
+        proba = model.predict_proba(features)
+        matches = {p for p, score in zip(pairs, proba) if score >= 0.5}
+        # crowd labels override the model where available
+        for pair, label in labels.items():
+            if label:
+                matches.add(pair)
+            else:
+                matches.discard(pair)
+        return BaselineResult("Corleone", matches, questions)
+
+    # ------------------------------------------------------------------
+    def _train(
+        self,
+        features: np.ndarray,
+        index_of: dict[Pair, int],
+        labels: dict[Pair, bool],
+    ) -> RandomForestClassifier | None:
+        if not labels:
+            return None
+        y = np.array([1.0 if v else 0.0 for v in labels.values()])
+        if y.sum() == 0 or y.sum() == len(y):
+            return None
+        X = features[[index_of[p] for p in labels]]
+        model = RandomForestClassifier(n_estimators=self.forest_size, seed=self.seed)
+        return model.fit(X, y)

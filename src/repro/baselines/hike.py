@@ -1,0 +1,81 @@
+"""HIKE: hybrid human-machine entity alignment (Zhuang et al., CIKM'17).
+
+HIKE partitions entities into clusters with similar attributes and
+relationships (hierarchical agglomerative clustering in the original), then
+runs monotonicity-based threshold inference inside each partition: if a
+similarity vector is labeled a match, every dominating vector is a match;
+if labeled a non-match, every dominated vector is a non-match.  Questions
+are chosen to bisect the unresolved region of each partition.
+
+This reimplementation partitions by attribute signature and orders each
+partition by total vector score; crowd labels then cut the order from both
+ends, which is the one-dimensional projection of HIKE's partial-order
+search and preserves its question-cost behaviour (cost grows with the
+number of partitions, and cross-type inference is impossible).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, partition_by_signature, vector_with_prior
+from repro.core.pipeline import PreparedState
+from repro.core.vectors import dominates
+from repro.crowd.platform import CrowdPlatform
+
+Pair = tuple[str, str]
+
+
+class Hike:
+    """Partition + monotone threshold search with crowd labels."""
+
+    def __init__(self, questions_per_round: int = 1, max_questions_per_partition: int = 30):
+        self.questions_per_round = questions_per_round
+        self.max_questions_per_partition = max_questions_per_partition
+
+    def run(self, state: PreparedState, platform: CrowdPlatform) -> BaselineResult:
+        matches: set[Pair] = set()
+        questions = 0
+        for block in partition_by_signature(state):
+            block_matches, block_questions = self._resolve_partition(state, block, platform)
+            matches.update(block_matches)
+            questions += block_questions
+        return BaselineResult("HIKE", matches, questions)
+
+    # ------------------------------------------------------------------
+    def _resolve_partition(
+        self, state: PreparedState, block: list[Pair], platform: CrowdPlatform
+    ) -> tuple[set[Pair], int]:
+        """Binary-search the match boundary along the score order."""
+        ranked = sorted(
+            block, key=lambda p: (sum(vector_with_prior(state, p)), p)
+        )
+        vectors = {p: vector_with_prior(state, p) for p in block}
+        matches: set[Pair] = set()
+        non_matches: set[Pair] = set()
+        questions = 0
+        low, high = 0, len(ranked) - 1
+        while low <= high and questions < self.max_questions_per_partition:
+            middle = (low + high) // 2
+            probe = ranked[middle]
+            if probe in matches or probe in non_matches:
+                # already inferred by monotonicity; shrink the window
+                if probe in matches:
+                    high = middle - 1
+                else:
+                    low = middle + 1
+                continue
+            label = platform.majority_label(probe)
+            questions += 1
+            if label:
+                matches.add(probe)
+                # monotonicity: dominating vectors are matches
+                for other in ranked[middle:]:
+                    if dominates(vectors[other], vectors[probe]):
+                        matches.add(other)
+                high = middle - 1
+            else:
+                non_matches.add(probe)
+                for other in ranked[: middle + 1]:
+                    if dominates(vectors[probe], vectors[other]):
+                        non_matches.add(other)
+                low = middle + 1
+        return matches, questions

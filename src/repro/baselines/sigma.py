@@ -1,0 +1,84 @@
+"""SiGMa: simple greedy matching for KB alignment (KDD'13).
+
+SiGMa grows a 1:1 alignment greedily from seed matches: a priority queue
+holds candidate pairs scored by a weighted sum of string similarity and
+neighborhood agreement (the number of already-matched neighbor pairs).
+The best pair is accepted, its entities are locked, and its neighbors'
+scores are refreshed.  Like PARIS it never consults the crowd and an early
+mistake stays in the alignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.baselines.base import BaselineResult
+from repro.core.pipeline import PreparedState
+
+Pair = tuple[str, str]
+
+
+class SiGMa:
+    """Greedy neighborhood-agreement matching from seeds."""
+
+    def __init__(
+        self,
+        string_weight: float = 0.5,
+        neighbor_weight: float = 0.5,
+        accept_threshold: float = 0.35,
+    ):
+        self.string_weight = string_weight
+        self.neighbor_weight = neighbor_weight
+        self.accept_threshold = accept_threshold
+
+    def run(self, state: PreparedState, seeds: set[Pair]) -> BaselineResult:
+        graph = state.graph
+        matched: set[Pair] = set()
+        taken1: set[str] = set()
+        taken2: set[str] = set()
+
+        def neighbor_agreement(pair: Pair) -> float:
+            neighbors = graph.neighbors(pair)
+            if not neighbors:
+                return 0.0
+            agreeing = sum(1 for n in neighbors if n in matched)
+            return agreeing / max(1.0, len(neighbors) ** 0.5)
+
+        def score(pair: Pair) -> float:
+            return (
+                self.string_weight * state.priors.get(pair, 0.0)
+                + self.neighbor_weight * min(1.0, neighbor_agreement(pair))
+            )
+
+        def accept(pair: Pair) -> None:
+            matched.add(pair)
+            taken1.add(pair[0])
+            taken2.add(pair[1])
+
+        for seed in sorted(seeds):
+            if seed[0] not in taken1 and seed[1] not in taken2:
+                accept(seed)
+
+        # Max-heap with lazily refreshed scores (standard SiGMa loop).
+        heap: list[tuple[float, Pair]] = []
+        for pair in sorted(state.retained):
+            if pair not in matched:
+                heapq.heappush(heap, (-score(pair), pair))
+
+        while heap:
+            neg_score, pair = heapq.heappop(heap)
+            if pair in matched or pair[0] in taken1 or pair[1] in taken2:
+                continue
+            current = score(pair)
+            if current < -neg_score - 1e-12:
+                heapq.heappush(heap, (-current, pair))
+                continue
+            if current < self.accept_threshold:
+                break
+            accept(pair)
+            # Refresh the neighbors whose agreement just improved.
+            for neighbor in graph.neighbors(pair):
+                if neighbor not in matched and neighbor[0] not in taken1 and neighbor[1] not in taken2:
+                    heapq.heappush(heap, (-score(neighbor), neighbor))
+
+        return BaselineResult("SiGMa", matched, 0)

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print Table II-style statistics for the four synthetic profiles.
+``run``
+    Run the Remp pipeline on one dataset and report quality and cost.
+``experiment``
+    Regenerate one paper artifact (``table3`` … ``figure6``).
+``export``
+    Write a generated dataset's two KBs and gold standard to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import Remp, RempConfig
+from repro.crowd import CrowdPlatform
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.eval import evaluate_matches
+from repro.kb import describe, save_kb_json
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name in DATASET_NAMES:
+        bundle = load_dataset(name, seed=args.seed, scale=args.scale)
+        print(f"== {name}: {bundle.num_matches} gold matches")
+        print("  ", describe(bundle.kb1).as_row())
+        print("  ", describe(bundle.kb2).as_row())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    config = RempConfig(mu=args.mu, tau=args.tau, budget=args.budget)
+    if args.error_rate > 0:
+        platform = CrowdPlatform.with_simulated_workers(
+            bundle.gold_matches, error_rate=args.error_rate, seed=args.seed
+        )
+    else:
+        platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+    result = Remp(config).run(bundle.kb1, bundle.kb2, platform)
+    quality = evaluate_matches(result.matches, bundle.gold_matches)
+    print(quality.as_row())
+    print(
+        f"questions={result.questions_asked} loops={result.num_loops} "
+        f"labeled={len(result.labeled_matches)} inferred={len(result.inferred_matches)} "
+        f"isolated={len(result.isolated_matches)}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    result = module.run(scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    save_kb_json(bundle.kb1, out / "kb1.json")
+    save_kb_json(bundle.kb2, out / "kb2.json")
+    (out / "gold_matches.json").write_text(
+        json.dumps(sorted(map(list, bundle.gold_matches)), indent=1)
+    )
+    (out / "gold_attribute_matches.json").write_text(
+        json.dumps(sorted(map(list, bundle.gold_attribute_matches)), indent=1)
+    )
+    print(f"wrote kb1.json, kb2.json and gold files to {out}")
+    return 0
+
+
+EXPERIMENT_NAMES = (
+    "table3", "figure3", "table4", "table5", "figure4",
+    "table6", "figure5", "table7", "table8", "figure6",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Remp reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="show dataset statistics")
+    p_datasets.add_argument("--scale", type=float, default=1.0)
+    p_datasets.add_argument("--seed", type=int, default=0)
+    p_datasets.set_defaults(func=_cmd_datasets)
+
+    p_run = sub.add_parser("run", help="run the Remp pipeline on a dataset")
+    p_run.add_argument("dataset", choices=DATASET_NAMES)
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--mu", type=int, default=10)
+    p_run.add_argument("--tau", type=float, default=0.9)
+    p_run.add_argument("--budget", type=int, default=None)
+    p_run.add_argument(
+        "--error-rate", type=float, default=0.05,
+        help="worker error rate; 0 uses a perfect oracle",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="regenerate one paper artifact")
+    p_exp.add_argument("name", choices=EXPERIMENT_NAMES)
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_export = sub.add_parser("export", help="write a dataset to disk")
+    p_export.add_argument("dataset", choices=DATASET_NAMES)
+    p_export.add_argument("output")
+    p_export.add_argument("--scale", type=float, default=1.0)
+    p_export.add_argument("--seed", type=int, default=0)
+    p_export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

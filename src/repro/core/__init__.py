@@ -1,0 +1,27 @@
+"""Remp core: the paper's primary contribution.
+
+The modules follow the paper's pipeline order:
+
+* :mod:`repro.core.candidates` — candidate entity matches + initial matches
+  (Section IV-B / IV-C prerequisites).
+* :mod:`repro.core.attributes` — attribute matching with the global 1:1
+  constraint (Section IV-C).
+* :mod:`repro.core.vectors` — similarity vectors and the partial order
+  (Section IV-D).
+* :mod:`repro.core.pruning` — Algorithm 1, partial-order based pruning.
+* :mod:`repro.core.er_graph` — the ER graph of Definition 2.
+* :mod:`repro.core.consistency` — relationship-consistency MLE (Section V-A).
+* :mod:`repro.core.propagation` — match propagation to neighbors and in
+  distance (Sections V-B, V-C).
+* :mod:`repro.core.discovery` — Algorithm 2, inferred-match-set discovery.
+* :mod:`repro.core.selection` — Algorithm 3, greedy multiple questions
+  selection, plus the MaxInf / MaxPr baselines (Section VI).
+* :mod:`repro.core.truth` — error-tolerant truth inference (Section VII-A).
+* :mod:`repro.core.isolated` — isolated-pair classification (Section VII-B).
+* :mod:`repro.core.pipeline` — the full crowdsourced collective ER loop.
+"""
+
+from repro.core.config import RempConfig
+from repro.core.pipeline import Remp, RempResult
+
+__all__ = ["RempConfig", "Remp", "RempResult"]

@@ -1,0 +1,95 @@
+"""Candidate entity match generation (Section IV-B).
+
+Entity labels are normalized and compared with the Jaccard coefficient; an
+inverted token index keeps the comparison near-linear (a pair can only pass
+the threshold if it shares at least one token).  Label similarities double
+as prior match probabilities, and pairs with *identical* labels form the
+initial entity matches ``M_in`` that seed attribute matching and
+relationship-consistency estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kb.model import KnowledgeBase
+from repro.text.normalize import normalize_label
+from repro.text.similarity import jaccard
+
+Pair = tuple[str, str]
+
+
+@dataclass(slots=True)
+class CandidateSet:
+    """Candidate matches ``M_c`` with priors, plus initial matches ``M_in``."""
+
+    pairs: set[Pair] = field(default_factory=set)
+    priors: dict[Pair, float] = field(default_factory=dict)
+    initial_matches: set[Pair] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self.pairs
+
+    def prior(self, pair: Pair) -> float:
+        return self.priors.get(pair, 0.0)
+
+
+def _token_index(kb: KnowledgeBase) -> tuple[dict[str, frozenset[str]], dict[str, set[str]]]:
+    """Normalize every labeled entity; return token sets and inverted index."""
+    token_sets: dict[str, frozenset[str]] = {}
+    inverted: dict[str, set[str]] = {}
+    for entity in kb.entities:
+        label = kb.label(entity)
+        if label is None:
+            continue
+        tokens = normalize_label(label)
+        if not tokens:
+            continue
+        token_sets[entity] = tokens
+        for token in tokens:
+            inverted.setdefault(token, set()).add(entity)
+    return token_sets, inverted
+
+
+def generate_candidates(
+    kb1: KnowledgeBase,
+    kb2: KnowledgeBase,
+    threshold: float = 0.3,
+) -> CandidateSet:
+    """Build the candidate set ``M_c`` between ``kb1`` and ``kb2``.
+
+    A pair enters ``M_c`` when the Jaccard similarity of its normalized
+    label token sets reaches ``threshold``; the similarity becomes the
+    pair's prior match probability.  Pairs sharing an exactly equal raw
+    label are additionally recorded as initial matches ``M_in``.
+    """
+    tokens1, _ = _token_index(kb1)
+    tokens2, inverted2 = _token_index(kb2)
+
+    labels2: dict[str, set[str]] = {}
+    for entity in kb2.entities:
+        for label in kb2.labels(entity):
+            labels2.setdefault(label, set()).add(entity)
+
+    result = CandidateSet()
+    for entity1, tset1 in tokens1.items():
+        seen: set[str] = set()
+        for token in tset1:
+            seen.update(inverted2.get(token, ()))
+        for entity2 in seen:
+            sim = jaccard(tset1, tokens2[entity2])
+            if sim >= threshold:
+                pair = (entity1, entity2)
+                result.pairs.add(pair)
+                result.priors[pair] = sim
+
+    for entity1 in tokens1:
+        for label in kb1.labels(entity1):
+            for entity2 in labels2.get(label, ()):
+                pair = (entity1, entity2)
+                if pair in result.pairs:
+                    result.initial_matches.add(pair)
+    return result

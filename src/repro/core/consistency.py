@@ -1,0 +1,162 @@
+"""Relationship-consistency estimation (Section V-A).
+
+For a relationship pair (r₁, r₂), the consistencies ε₁ and ε₂ are the
+probabilities that a value of r₁ (resp. r₂) on a matched entity has a
+matching counterpart in the other KB's value set.  They are estimated by
+maximum likelihood over the matched pairs, where the number of matching
+value pairs ``L`` is latent (Eqs. 4–5).
+
+The paper optimizes the piecewise-continuous profile likelihood directly;
+we use the equivalent coordinate-ascent form: given ε, the optimal integer
+``L`` for each pair maximizes ``C(n₁,L)·C(n₂,L)·ζ^L`` (with
+``ζ = ε₁ε₂ / ((1−ε₁)(1−ε₂))``), and given all ``L`` the binomial MLE is
+``εᵢ = ΣL / Σnᵢ``.  Observed matches among the values give a lower bound on
+each ``L``, anchoring the latent search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.er_graph import RelPair, value_sets
+from repro.kb.model import KnowledgeBase
+
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class Consistency:
+    """Estimated (ε₁, ε₂) for one relationship-pair label."""
+
+    epsilon1: float
+    epsilon2: float
+    support: int
+
+    def gamma(self) -> float:
+        """Odds product ζ = ε₁ε₂ / ((1−ε₁)(1−ε₂)) used in propagation."""
+        return (self.epsilon1 * self.epsilon2) / (
+            (1.0 - self.epsilon1) * (1.0 - self.epsilon2)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class _Observation:
+    """One matched pair's evidence: value-set sizes and observed matches."""
+
+    n1: int
+    n2: int
+    observed: int  # lower bound on the latent L
+
+
+def _observed_match_count(
+    values1: set[str], values2: set[str], matches: set[Pair]
+) -> int:
+    """Size of a greedy 1:1 matching among known matches in N₁ × N₂."""
+    used2: set[str] = set()
+    count = 0
+    for v1 in sorted(values1):
+        for v2 in sorted(values2):
+            if v2 not in used2 and (v1, v2) in matches:
+                used2.add(v2)
+                count += 1
+                break
+    return count
+
+
+def _best_latent(n1: int, n2: int, lower: int, zeta: float) -> int:
+    """argmax over L in [lower, min(n1, n2)] of C(n1,L)·C(n2,L)·ζ^L."""
+    upper = min(n1, n2)
+    if upper <= lower:
+        return min(lower, upper)
+    log_zeta = math.log(zeta) if zeta > 0 else -math.inf
+    best_l, best_ll = lower, -math.inf
+    for latent in range(lower, upper + 1):
+        ll = (
+            math.log(math.comb(n1, latent))
+            + math.log(math.comb(n2, latent))
+            + latent * log_zeta
+        )
+        if ll > best_ll:
+            best_ll = ll
+            best_l = latent
+    return best_l
+
+
+def estimate_consistency(
+    observations: list[_Observation],
+    epsilon_floor: float = 0.01,
+    epsilon_ceiling: float = 0.99,
+    max_iterations: int = 30,
+) -> Consistency:
+    """Coordinate-ascent MLE for one relationship pair.
+
+    Alternates the closed-form latent assignment and the binomial ε update
+    until the latent counts stabilize.
+    """
+    relevant = [o for o in observations if o.n1 > 0 or o.n2 > 0]
+    if not relevant:
+        return Consistency(0.5, 0.5, 0)
+    b1 = sum(o.n1 for o in relevant)
+    b2 = sum(o.n2 for o in relevant)
+
+    def clamp(x: float) -> float:
+        return min(epsilon_ceiling, max(epsilon_floor, x))
+
+    total_observed = sum(o.observed for o in relevant)
+    eps1 = clamp(total_observed / b1 if b1 else 0.5)
+    eps2 = clamp(total_observed / b2 if b2 else 0.5)
+    latents = [o.observed for o in relevant]
+    for _ in range(max_iterations):
+        zeta = (eps1 * eps2) / ((1.0 - eps1) * (1.0 - eps2))
+        new_latents = [
+            _best_latent(o.n1, o.n2, o.observed, zeta) if o.n1 and o.n2 else 0
+            for o in relevant
+        ]
+        total = sum(new_latents)
+        new_eps1 = clamp(total / b1 if b1 else 0.5)
+        new_eps2 = clamp(total / b2 if b2 else 0.5)
+        converged = new_latents == latents and (
+            abs(new_eps1 - eps1) < 1e-9 and abs(new_eps2 - eps2) < 1e-9
+        )
+        latents, eps1, eps2 = new_latents, new_eps1, new_eps2
+        if converged:
+            break
+    return Consistency(eps1, eps2, len(relevant))
+
+
+def estimate_all_consistencies(
+    kb1: KnowledgeBase,
+    kb2: KnowledgeBase,
+    labels: set[RelPair],
+    matches: set[Pair],
+    min_support: int = 2,
+    epsilon_default: float = 0.5,
+    epsilon_floor: float = 0.01,
+    epsilon_ceiling: float = 0.99,
+) -> dict[RelPair, Consistency]:
+    """Estimate ε for every relationship-pair label from the current matches.
+
+    ``matches`` plays the role of ``M_in`` on the first call and of the
+    accumulated confirmed matches on later re-estimations (Section VII-A).
+    Labels with fewer than ``min_support`` informative matched pairs fall
+    back to a neutral default.
+    """
+    result: dict[RelPair, Consistency] = {}
+    match_list = list(matches)
+    for label in labels:
+        observations = []
+        for entity1, entity2 in match_list:
+            values1, values2 = value_sets(kb1, kb2, entity1, entity2, label)
+            if not values1 and not values2:
+                continue
+            observed = _observed_match_count(values1, values2, matches)
+            observations.append(_Observation(len(values1), len(values2), observed))
+        informative = [o for o in observations if o.n1 and o.n2]
+        if len(informative) < min_support:
+            result[label] = Consistency(epsilon_default, epsilon_default, len(informative))
+        else:
+            result[label] = estimate_consistency(
+                observations, epsilon_floor, epsilon_ceiling
+            )
+    return result

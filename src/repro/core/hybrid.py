@@ -1,0 +1,86 @@
+"""Hybrid ER: match propagation + partial-order inference (future work).
+
+The paper's conclusion sketches a hybrid approach that combines the
+transitive relation, the partial order and relational match propagation.
+This module implements that extension: on top of the standard Remp loop,
+every crowd label is also propagated through the *similarity partial
+order* —
+
+* a labeled **match** resolves every unresolved pair that dominates it
+  **and shares an entity with it** (the conservative, error-localized form
+  of monotonicity the paper advocates in Section VIII-B: "our partial
+  order is restricted to neighbors of each entity pair, where errors do
+  not propagate to the whole candidate match set");
+* a labeled **non-match** resolves every unresolved pair it dominates on
+  the same entity as a non-match.
+
+Transitive closure under the 1:1 assumption is already part of the base
+pipeline (competitor demotion).  The net effect is fewer questions for the
+same F1 on datasets whose partial order is clean — see
+``benchmarks/bench_hybrid.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PreparedState, Remp, _LoopState
+from repro.core.truth import TruthInferenceResult
+from repro.core.vectors import dominates
+
+Pair = tuple[str, str]
+
+
+def monotone_inferences(
+    state: PreparedState,
+    loop_state: _LoopState,
+    truth: TruthInferenceResult,
+) -> tuple[set[Pair], set[Pair]]:
+    """Pairs resolvable from ``truth`` by entity-local monotonicity."""
+    vectors = state.vector_index.vectors
+    inferred_matches: set[Pair] = set()
+    inferred_non_matches: set[Pair] = set()
+
+    def siblings(pair: Pair) -> list[Pair]:
+        by_left = state.vector_index.by_left.get(pair[0], [])
+        by_right = state.vector_index.by_right.get(pair[1], [])
+        return [p for p in by_left + by_right if p != pair and p in state.retained]
+
+    for question in sorted(truth.matches):
+        if question not in vectors:
+            continue
+        base = vectors[question]
+        for sibling in siblings(question):
+            if dominates(vectors[sibling], base):
+                inferred_matches.add(sibling)
+    for question in sorted(truth.non_matches):
+        if question not in vectors:
+            continue
+        base = vectors[question]
+        for sibling in siblings(question):
+            if dominates(base, vectors[sibling]):
+                inferred_non_matches.add(sibling)
+    unresolved = loop_state.unresolved()
+    return inferred_matches & unresolved, inferred_non_matches & unresolved
+
+
+class _HybridLoopState(_LoopState):
+    """Loop state that adds monotone inference after each labeling round."""
+
+    def apply_truth(self, truth: TruthInferenceResult) -> None:
+        super().apply_truth(truth)
+        matches, non_matches = monotone_inferences(self.state, self, truth)
+        for pair in sorted(matches):
+            self.resolve_match(pair, labeled=False)
+        for pair in sorted(non_matches):
+            self.resolve_non_match(pair)
+
+
+class HybridRemp(Remp):
+    """Remp plus entity-local partial-order inference on every label.
+
+    A drop-in replacement for :class:`repro.core.Remp`: the human–machine
+    loop, question selection and isolated-pair handling are identical;
+    only the per-label inference is extended.
+    """
+
+    def _make_loop_state(self, state: PreparedState) -> _LoopState:
+        return _HybridLoopState(state, self.config)

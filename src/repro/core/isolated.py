@@ -1,0 +1,212 @@
+"""Inference for isolated entity pairs — Section VII-B.
+
+Pairs whose entities occur in no relationship triple cannot be reached by
+match propagation.  Instead of polling the crowd pair by pair, a random
+forest is trained on the resolved pairs whose *attribute signature* (the
+set of attribute matches populated on both sides) is similar to the
+isolated pair's — the neighborhood ``N_p`` with Jaccard ≥ ψ.  Unresolved
+neighbors count as non-matches to balance the heavily-positive labels that
+propagation produces.
+
+Two practical extensions (documented in DESIGN.md):
+
+* When a signature group has no positive labels at all — common when whole
+  entity types are isolated — a small, bounded number of seed questions is
+  asked about the group's most probable pairs, giving the forest something
+  to learn from.  This keeps the paper's "avoid polling one by one" intent
+  while making the classifier usable on datasets like I-Y and D-Y where
+  isolated pairs dominate.
+* The label-similarity prior is appended to the feature vector, so pairs
+  with few shared attributes are still classifiable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import RempConfig
+from repro.ml import RandomForestClassifier
+from repro.text.similarity import jaccard
+
+Pair = tuple[str, str]
+Signature = frozenset[int]
+Vector = tuple[float, ...]
+
+#: Callback for crowd-labeling one pair: returns True (match), False
+#: (non-match) or None (labels were inconsistent / pair stays unresolved).
+AskFn = Callable[[Pair], bool | None]
+
+
+def attribute_signature(vector_presence: tuple[bool, ...]) -> Signature:
+    """Indices of attribute matches populated on both sides of a pair."""
+    return frozenset(i for i, present in enumerate(vector_presence) if present)
+
+
+class IsolatedPairClassifier:
+    """Random-forest resolution of isolated pairs.
+
+    Parameters
+    ----------
+    vectors:
+        Similarity vector of every retained pair.
+    signatures:
+        Attribute signature of every retained pair.
+    priors:
+        Label-similarity priors (extra feature + seed-question ordering).
+    config:
+        Supplies ψ, the forest size and seed-question budget.
+    """
+
+    def __init__(
+        self,
+        vectors: dict[Pair, Vector],
+        signatures: dict[Pair, Signature],
+        priors: dict[Pair, float],
+        config: RempConfig | None = None,
+        seed: int = 0,
+    ):
+        self._vectors = vectors
+        self._signatures = signatures
+        self._priors = priors
+        self._config = config or RempConfig()
+        self._seed = seed
+        self.questions_asked = 0
+
+    # ------------------------------------------------------------------
+    def neighborhood(self, pair: Pair) -> list[Pair]:
+        """``N_p``: retained pairs with attribute-signature Jaccard ≥ ψ."""
+        signature = self._signatures[pair]
+        psi = self._config.psi
+        return sorted(
+            other
+            for other, other_sig in self._signatures.items()
+            if other != pair and jaccard(signature, other_sig) >= psi
+        )
+
+    def _features(self, pair: Pair) -> list[float]:
+        # The pipeline's vectors already lead with the label prior.
+        return list(self._vectors[pair])
+
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        pairs: list[Pair],
+        resolved_matches: set[Pair],
+        resolved_non_matches: set[Pair],
+        ask: AskFn | None = None,
+    ) -> set[Pair]:
+        """Predict which isolated ``pairs`` are matches.
+
+        One forest is trained per distinct attribute signature (pairs with
+        equal signatures share a neighborhood and therefore a model).  When
+        ``ask`` is provided and a group's neighborhood lacks positive or
+        negative labels, up to ``config.isolated_seed_questions`` of the
+        group's highest-prior pairs are crowd-labeled first.  Groups that
+        still cannot be trained yield no predictions.
+        """
+        predicted: set[Pair] = set()
+        by_signature: dict[Signature, list[Pair]] = {}
+        for pair in sorted(pairs):
+            by_signature.setdefault(self._signatures[pair], []).append(pair)
+
+        # Deterministic group order regardless of set-iteration order.
+        for _, members in sorted(by_signature.items(), key=lambda kv: sorted(kv[0])):
+            members = [p for p in members if p not in resolved_matches
+                       and p not in resolved_non_matches]
+            if not members:
+                continue
+            neighborhood = self.neighborhood(members[0])
+            if ask is not None:
+                self._seed_labels(
+                    members, neighborhood, resolved_matches, resolved_non_matches, ask
+                )
+            members = [p for p in members if p not in resolved_matches
+                       and p not in resolved_non_matches]
+            if not members:
+                continue
+            model = self._train(neighborhood, resolved_matches, resolved_non_matches)
+            if model is None:
+                continue
+            X = np.array([self._features(p) for p in members], dtype=float)
+            proba = model.predict_proba(X)
+            threshold = self._config.isolated_match_threshold
+            predicted.update(p for p, score in zip(members, proba) if score >= threshold)
+        return predicted
+
+    # ------------------------------------------------------------------
+    def _seed_labels(
+        self,
+        members: list[Pair],
+        neighborhood: list[Pair],
+        resolved_matches: set[Pair],
+        resolved_non_matches: set[Pair],
+        ask: AskFn,
+    ) -> None:
+        """Crowd-label a few high-prior pairs so the group becomes trainable."""
+        budget = self._config.isolated_seed_questions
+        positives = sum(1 for p in neighborhood if p in resolved_matches)
+        if positives > 0 or budget <= 0:
+            return
+        target = self._config.isolated_seed_positive_target
+        ranked = sorted(members, key=lambda p: -self._priors.get(p, 0.0))
+        for pair in ranked[:budget]:
+            answer = ask(pair)
+            self.questions_asked += 1
+            if answer is True:
+                resolved_matches.add(pair)
+            elif answer is False:
+                resolved_non_matches.add(pair)
+            enough_positive = (
+                sum(1 for p in neighborhood if p in resolved_matches) >= target
+            )
+            has_negative = any(p in resolved_non_matches for p in neighborhood)
+            if enough_positive and has_negative:
+                break
+
+    def _train(
+        self,
+        neighborhood: list[Pair],
+        resolved_matches: set[Pair],
+        resolved_non_matches: set[Pair],
+    ) -> RandomForestClassifier | None:
+        if not neighborhood:
+            return None
+        # Resolved non-matches and unresolved pairs both count as negatives
+        # (Section VII-B's class balancing); resolved negatives are kept in
+        # full, unlabeled negatives are subsampled so the handful of
+        # positive labels is not drowned out.
+        positives = [p for p in neighborhood if p in resolved_matches]
+        known_negatives = [p for p in neighborhood if p in resolved_non_matches]
+        unlabeled = [
+            p
+            for p in neighborhood
+            if p not in resolved_matches and p not in resolved_non_matches
+        ]
+        if not positives:
+            return None
+        rng = random.Random(self._seed)
+        negative_cap = max(5 * len(positives), 10)
+        if len(known_negatives) > negative_cap:
+            known_negatives = rng.sample(known_negatives, negative_cap)
+        if known_negatives:
+            # Trust crowd-confirmed negatives; unlabeled pairs may well be
+            # matches in dense pools and would poison the training set.
+            negatives = known_negatives
+        else:
+            room = max(0, negative_cap)
+            if len(unlabeled) > room:
+                unlabeled = rng.sample(unlabeled, room)
+            negatives = unlabeled
+        if not negatives:
+            return None
+        X = np.array(
+            [self._features(p) for p in positives + negatives], dtype=float
+        )
+        y = np.array([1.0] * len(positives) + [0.0] * len(negatives))
+        model = RandomForestClassifier(
+            n_estimators=self._config.forest_size, seed=self._seed
+        )
+        return model.fit(X, y)

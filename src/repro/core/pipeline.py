@@ -1,0 +1,454 @@
+"""The end-to-end Remp pipeline (Figure 2's workflow).
+
+``prepare`` runs the offline stages: candidate generation, attribute
+matching, similarity vectors, partial-order pruning and ER-graph
+construction.  ``run`` executes the human–machine loop: consistency
+estimation, probabilistic propagation, multiple questions selection, crowd
+labeling and truth inference — iterating until no unresolved pair can be
+inferred by relational match propagation — then resolves isolated pairs
+with the random-forest classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.attributes import AttributeMatch, match_attributes
+from repro.core.candidates import CandidateSet, generate_candidates
+from repro.core.config import RempConfig
+from repro.core.consistency import estimate_all_consistencies
+from repro.core.discovery import inferred_sets
+from repro.core.er_graph import ERGraph, build_er_graph
+from repro.core.isolated import IsolatedPairClassifier, Signature, attribute_signature
+from repro.core.propagation import build_probabilistic_graph
+from repro.core.pruning import partial_order_pruning
+from repro.core.selection import (
+    greedy_question_selection,
+    max_inference_selection,
+    max_probability_selection,
+)
+from repro.core.truth import infer_truths
+from repro.core.vectors import VectorIndex, build_similarity_vectors
+from repro.crowd.platform import CrowdPlatform
+from repro.kb.model import KnowledgeBase
+
+Pair = tuple[str, str]
+
+#: Effective prior given to already-resolved pairs during propagation.
+_RESOLVED_MATCH_PRIOR = 0.99
+_RESOLVED_NON_MATCH_PRIOR = 0.01
+
+
+@dataclass(slots=True)
+class PreparedState:
+    """Artifacts of the offline stages, reused by the loop and experiments."""
+
+    kb1: KnowledgeBase
+    kb2: KnowledgeBase
+    candidates: CandidateSet
+    attribute_matches: list[AttributeMatch]
+    vector_index: VectorIndex
+    retained: set[Pair]
+    graph: ERGraph
+    signatures: dict[Pair, Signature]
+    priors: dict[Pair, float]
+    isolated: set[Pair]
+
+
+@dataclass(slots=True)
+class LoopRecord:
+    """Bookkeeping for one human–machine loop."""
+
+    loop_index: int
+    questions: list[Pair]
+    labeled_matches: int
+    labeled_non_matches: int
+    unresolved_questions: int
+    inferred_matches_so_far: int
+
+
+@dataclass(slots=True)
+class RempResult:
+    """Final output of a Remp run."""
+
+    matches: set[Pair]
+    questions_asked: int
+    num_loops: int
+    history: list[LoopRecord] = field(default_factory=list)
+    labeled_matches: set[Pair] = field(default_factory=set)
+    inferred_matches: set[Pair] = field(default_factory=set)
+    isolated_matches: set[Pair] = field(default_factory=set)
+    non_matches: set[Pair] = field(default_factory=set)
+
+
+class Remp:
+    """Crowdsourced collective entity resolution with match propagation.
+
+    Examples
+    --------
+    >>> from repro.datasets import load_dataset
+    >>> from repro.crowd import CrowdPlatform
+    >>> bundle = load_dataset("iimb", seed=0, scale=0.2)
+    >>> platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+    >>> result = Remp().run(bundle.kb1, bundle.kb2, platform)
+    >>> len(result.matches) > 0
+    True
+    """
+
+    def __init__(self, config: RempConfig | None = None, seed: int = 0):
+        self.config = config or RempConfig()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Offline stages (Section IV)
+    # ------------------------------------------------------------------
+    def prepare(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> PreparedState:
+        """Run ER-graph construction and return every intermediate artifact."""
+        config = self.config
+        candidates = generate_candidates(kb1, kb2, config.label_similarity_threshold)
+        attribute_matches = match_attributes(
+            kb1,
+            kb2,
+            candidates.initial_matches,
+            literal_threshold=config.literal_threshold,
+        )
+        vectors = build_similarity_vectors(
+            kb1, kb2, candidates.pairs, attribute_matches, config.literal_threshold
+        )
+        # The label similarity (= the prior) leads every vector: rdfs:label
+        # is itself an attribute match, and it is the finest-grained
+        # component, which keeps the partial order discriminative even when
+        # the other attributes produce mostly 0/1 similarities.
+        vectors = {
+            pair: (candidates.priors.get(pair, 0.0),) + vector
+            for pair, vector in vectors.items()
+        }
+        index = VectorIndex(vectors)
+        retained = partial_order_pruning(candidates.pairs, index, config.k)
+        graph = build_er_graph(kb1, kb2, retained)
+        signatures = {}
+        for pair in retained:
+            presence = tuple(
+                bool(kb1.attribute_values(pair[0], m.attr1))
+                and bool(kb2.attribute_values(pair[1], m.attr2))
+                for m in attribute_matches
+            )
+            signatures[pair] = attribute_signature(presence)
+        priors = {pair: candidates.priors.get(pair, config.default_prior) for pair in retained}
+        return PreparedState(
+            kb1=kb1,
+            kb2=kb2,
+            candidates=candidates,
+            attribute_matches=attribute_matches,
+            vector_index=index,
+            retained=retained,
+            graph=graph,
+            signatures=signatures,
+            priors=priors,
+            isolated=graph.isolated_vertices(),
+        )
+
+    # ------------------------------------------------------------------
+    # Online loop (Sections V–VII)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kb1: KnowledgeBase,
+        kb2: KnowledgeBase,
+        platform: CrowdPlatform,
+        strategy: str = "remp",
+        state: PreparedState | None = None,
+    ) -> RempResult:
+        """Execute the full crowdsourced collective ER workflow.
+
+        ``strategy`` selects the question-selection policy: ``"remp"``
+        (Algorithm 3), ``"maxinf"`` or ``"maxpr"`` (the Figure 5 baselines).
+        A pre-computed ``state`` may be passed to share offline work across
+        runs.
+        """
+        config = self.config
+        state = state or self.prepare(kb1, kb2)
+        loop_state = self._make_loop_state(state)
+
+        history: list[LoopRecord] = []
+        questions_asked = 0
+        for loop_index in range(config.max_loops):
+            loop_state.propagate(kb1, kb2)
+            candidates = loop_state.askable_questions()
+            if not candidates:
+                break
+            remaining_budget = None
+            if config.budget is not None:
+                remaining_budget = config.budget - questions_asked
+                if remaining_budget <= 0:
+                    break
+            batch = self._select(strategy, candidates, loop_state, remaining_budget)
+            if not batch:
+                break
+            answers = platform.ask_batch(batch)
+            questions_asked += len(batch)
+            truth = infer_truths(
+                answers,
+                loop_state.priors,
+                config.match_posterior,
+                config.non_match_posterior,
+                config.default_prior,
+            )
+            loop_state.apply_truth(truth)
+            history.append(
+                LoopRecord(
+                    loop_index=loop_index,
+                    questions=batch,
+                    labeled_matches=len(truth.matches),
+                    labeled_non_matches=len(truth.non_matches),
+                    unresolved_questions=len(truth.unresolved),
+                    inferred_matches_so_far=len(loop_state.inferred_matches),
+                )
+            )
+        # Final propagation pass for the last batch of labels.
+        loop_state.propagate(kb1, kb2)
+
+        isolated_matches, isolated_questions = self._classify_isolated(
+            state, loop_state, platform
+        )
+        questions_asked += isolated_questions
+        matches = (
+            loop_state.labeled_matches
+            | loop_state.inferred_matches
+            | isolated_matches
+        )
+        return RempResult(
+            matches=matches,
+            questions_asked=questions_asked,
+            num_loops=len(history),
+            history=history,
+            labeled_matches=set(loop_state.labeled_matches),
+            inferred_matches=set(loop_state.inferred_matches),
+            isolated_matches=isolated_matches,
+            non_matches=set(loop_state.resolved_non_matches),
+        )
+
+    def propagate_only(
+        self,
+        kb1: KnowledgeBase,
+        kb2: KnowledgeBase,
+        seeds: set[Pair],
+        state: PreparedState | None = None,
+    ) -> set[Pair]:
+        """Pure propagation from trusted seed matches (Table VI protocol).
+
+        Seeds act as labeled matches; no questions are asked and the
+        isolated-pair classifier is skipped.  Returns seeds plus every pair
+        inferred at precision threshold τ.
+        """
+        state = state or self.prepare(kb1, kb2)
+        loop_state = self._make_loop_state(state)
+        for seed in seeds:
+            if seed in state.retained:
+                loop_state.resolve_match(seed, labeled=True)
+            else:
+                loop_state.labeled_matches.add(seed)
+        loop_state.propagate(kb1, kb2)
+        return set(loop_state.labeled_matches) | set(loop_state.inferred_matches)
+
+    # ------------------------------------------------------------------
+    def _make_loop_state(self, state: PreparedState) -> "_LoopState":
+        """Hook for subclasses that add inference rules (see core.hybrid)."""
+        return _LoopState(state, self.config)
+
+    def _select(
+        self,
+        strategy: str,
+        candidates: list[Pair],
+        loop_state: "_LoopState",
+        remaining_budget: int | None,
+    ) -> list[Pair]:
+        mu = self.config.mu
+        if remaining_budget is not None:
+            mu = min(mu, remaining_budget)
+        restricted = loop_state.restricted_inferred_sets()
+        if strategy == "remp":
+            return greedy_question_selection(candidates, restricted, loop_state.priors, mu)
+        if strategy == "maxinf":
+            return max_inference_selection(candidates, restricted, mu)
+        if strategy == "maxpr":
+            return max_probability_selection(candidates, loop_state.priors, mu)
+        raise ValueError(f"unknown selection strategy {strategy!r}")
+
+    def _classify_isolated(
+        self,
+        state: PreparedState,
+        loop_state: "_LoopState",
+        platform: CrowdPlatform | None,
+    ) -> tuple[set[Pair], int]:
+        isolated_unresolved = sorted(
+            pair
+            for pair in state.isolated
+            if pair not in loop_state.resolved_matches
+            and pair not in loop_state.resolved_non_matches
+        )
+        if not isolated_unresolved:
+            return set(), 0
+        classifier = IsolatedPairClassifier(
+            state.vector_index.vectors,
+            state.signatures,
+            loop_state.priors,
+            self.config,
+            self.seed,
+        )
+
+        ask = None
+        if platform is not None:
+
+            def ask(pair: Pair) -> bool | None:
+                """Crowd-label one seed pair through truth inference."""
+                answers = {pair: platform.ask(pair)}
+                truth = infer_truths(
+                    answers,
+                    loop_state.priors,
+                    self.config.match_posterior,
+                    self.config.non_match_posterior,
+                    self.config.default_prior,
+                )
+                if pair in truth.matches:
+                    loop_state.resolve_match(pair, labeled=True)
+                    return True
+                if pair in truth.non_matches:
+                    loop_state.resolve_non_match(pair)
+                    return False
+                loop_state.priors.update(truth.unresolved)
+                return None
+
+        predicted = classifier.classify(
+            isolated_unresolved,
+            loop_state.resolved_matches,
+            loop_state.resolved_non_matches,
+            ask=ask,
+        )
+        return predicted, classifier.questions_asked
+
+
+class _LoopState:
+    """Mutable state threaded through the human–machine loops."""
+
+    def __init__(self, state: PreparedState, config: RempConfig):
+        self.state = state
+        self.config = config
+        self.priors: dict[Pair, float] = dict(state.priors)
+        self.labeled_matches: set[Pair] = set()
+        self.inferred_matches: set[Pair] = set()
+        self.resolved_matches: set[Pair] = set()
+        self.resolved_non_matches: set[Pair] = set()
+        self._inferred_sets: dict[Pair, dict[Pair, float]] = {}
+        self._by_left: dict[str, list[Pair]] = {}
+        self._by_right: dict[str, list[Pair]] = {}
+        for pair in state.retained:
+            self._by_left.setdefault(pair[0], []).append(pair)
+            self._by_right.setdefault(pair[1], []).append(pair)
+
+    # -- resolution bookkeeping ---------------------------------------
+    def resolve_match(self, pair: Pair, labeled: bool) -> None:
+        if pair in self.resolved_matches:
+            return
+        # A positive label overrides an earlier competitor demotion.
+        self.resolved_non_matches.discard(pair)
+        self.resolved_matches.add(pair)
+        if labeled:
+            self.labeled_matches.add(pair)
+        else:
+            self.inferred_matches.add(pair)
+        if self.config.enforce_one_to_one:
+            self._demote_competitors(pair)
+
+    def resolve_non_match(self, pair: Pair) -> None:
+        if pair not in self.resolved_matches:
+            self.resolved_non_matches.add(pair)
+
+    def apply_truth(self, truth) -> None:
+        """Fold one round of truth inference into the resolution state."""
+        for question in sorted(truth.matches):
+            self.resolve_match(question, labeled=True)
+        for question in sorted(truth.non_matches):
+            self.resolve_non_match(question)
+        self.priors.update(truth.unresolved)
+
+    def _demote_competitors(self, pair: Pair) -> None:
+        """The 1:1 assumption: siblings of a resolved match are non-matches."""
+        for sibling in self._by_left.get(pair[0], ()):
+            if sibling != pair and sibling not in self.resolved_matches:
+                self.resolved_non_matches.add(sibling)
+        for sibling in self._by_right.get(pair[1], ()):
+            if sibling != pair and sibling not in self.resolved_matches:
+                self.resolved_non_matches.add(sibling)
+
+    def unresolved(self) -> set[Pair]:
+        return self.state.retained - self.resolved_matches - self.resolved_non_matches
+
+    # -- propagation ----------------------------------------------------
+    def propagate(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> None:
+        """Rebuild the probabilistic graph and infer from labeled matches."""
+        config = self.config
+        matches_for_estimation = (
+            self.state.candidates.initial_matches
+            | self.labeled_matches
+            | self.inferred_matches
+        )
+        labels = {
+            label
+            for by_label in self.state.graph.groups.values()
+            for label in by_label
+        }
+        consistencies = estimate_all_consistencies(
+            kb1,
+            kb2,
+            labels,
+            matches_for_estimation,
+            min_support=config.min_consistency_support,
+            epsilon_default=config.epsilon_default,
+            epsilon_floor=config.epsilon_floor,
+            epsilon_ceiling=config.epsilon_ceiling,
+        )
+        effective_priors = dict(self.priors)
+        for pair in self.resolved_matches:
+            effective_priors[pair] = _RESOLVED_MATCH_PRIOR
+        for pair in self.resolved_non_matches:
+            effective_priors[pair] = _RESOLVED_NON_MATCH_PRIOR
+        prob_graph = build_probabilistic_graph(
+            self.state.graph, kb1, kb2, effective_priors, consistencies, config
+        )
+        unresolved = self.unresolved()
+        sources = set(self.labeled_matches & self.state.retained)
+        sources.update(q for q in unresolved if self.state.graph.groups.get(q))
+        self._inferred_sets = inferred_sets(
+            prob_graph, sources, config.tau, config.use_dijkstra
+        )
+        # Distant propagation: everything within ζ of a labeled match.
+        for match in sorted(self.labeled_matches & self.state.retained):
+            for pair in self._inferred_sets.get(match, ()):
+                if pair in self.unresolved():
+                    self.resolve_match(pair, labeled=False)
+
+    # -- question candidates -------------------------------------------
+    def restricted_inferred_sets(self) -> dict[Pair, dict[Pair, float]]:
+        """Inferred sets restricted to currently unresolved pairs (Eq. 12)."""
+        unresolved = self.unresolved()
+        return {
+            question: {p: d for p, d in inferred.items() if p in unresolved}
+            for question, inferred in self._inferred_sets.items()
+            if question in unresolved
+        }
+
+    def askable_questions(self) -> list[Pair]:
+        """Unresolved questions that can still infer something by relations.
+
+        The paper stops "when there is no unresolved entity pair that can
+        be inferred by relational match propagation": a question is worth
+        asking only while its inferred set reaches beyond the question
+        itself.
+        """
+        restricted = self.restricted_inferred_sets()
+        return [
+            question
+            for question, inferred in restricted.items()
+            if len(inferred) > 1 and self.priors.get(question, 0.0) > 0.0
+        ]

@@ -1,0 +1,81 @@
+"""Error-tolerant truth inference — Section VII-A.
+
+Each question is answered by several workers; under the worker probability
+model the posterior match probability follows Eq. 17.  Posteriors above the
+match threshold become matches, below the non-match threshold become
+non-matches, and the rest stay unresolved — their prior is replaced by the
+posterior so hard questions lose benefit and are unlikely to be re-asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crowd.platform import LabelRecord
+
+Pair = tuple[str, str]
+
+_QUALITY_EPS = 0.01
+
+
+def posterior_match_probability(
+    prior: float,
+    records: list[LabelRecord],
+) -> float:
+    """Eq. 17: Bayesian posterior given redundant worker labels.
+
+    Worker qualities are clamped away from 0/1 so a single perfect-quality
+    worker cannot produce degenerate odds.
+    """
+    if not 0.0 <= prior <= 1.0:
+        raise ValueError("prior must be in [0, 1]")
+    # Clamp degenerate priors: an exact-label pair has prior 1.0 but can
+    # still be a homonym non-match, and unanimous worker evidence must be
+    # able to override it.
+    prior = min(1.0 - _QUALITY_EPS, max(_QUALITY_EPS, prior))
+    # Odds form: posterior odds = prior odds × Π likelihood ratios.
+    log_ratio = 0.0
+    import math
+
+    for record in records:
+        quality = min(1.0 - _QUALITY_EPS, max(_QUALITY_EPS, record.worker_quality))
+        if record.label:
+            log_ratio += math.log(quality / (1.0 - quality))
+        else:
+            log_ratio += math.log((1.0 - quality) / quality)
+    prior_logit = math.log(prior / (1.0 - prior))
+    logit = prior_logit + log_ratio
+    return 1.0 / (1.0 + math.exp(-logit))
+
+
+@dataclass(slots=True)
+class TruthInferenceResult:
+    """Outcome of one round of truth inference."""
+
+    matches: set[Pair] = field(default_factory=set)
+    non_matches: set[Pair] = field(default_factory=set)
+    #: Hard questions: unresolved, with their new priors (posteriors).
+    unresolved: dict[Pair, float] = field(default_factory=dict)
+    posteriors: dict[Pair, float] = field(default_factory=dict)
+
+
+def infer_truths(
+    answers: dict[Pair, list[LabelRecord]],
+    priors: dict[Pair, float],
+    match_threshold: float = 0.8,
+    non_match_threshold: float = 0.2,
+    default_prior: float = 0.5,
+) -> TruthInferenceResult:
+    """Classify answered questions into matches / non-matches / unresolved."""
+    result = TruthInferenceResult()
+    for question, records in answers.items():
+        prior = priors.get(question, default_prior)
+        posterior = posterior_match_probability(prior, records)
+        result.posteriors[question] = posterior
+        if posterior >= match_threshold:
+            result.matches.add(question)
+        elif posterior <= non_match_threshold:
+            result.non_matches.add(question)
+        else:
+            result.unresolved[question] = posterior
+    return result

@@ -1,0 +1,15 @@
+"""Crowdsourcing substrate: simulated workers and a micro-task platform.
+
+The paper evaluates with (a) real Amazon MTurk workers filtered by a 95%
+approval qualification and (b) simulated workers that mislabel each question
+with a fixed error rate (0.05 / 0.15 / 0.25, following HIKE).  This package
+simulates both: :class:`SimulatedWorker` flips the true label with a
+configured error rate, and :class:`CrowdPlatform` publishes questions to a
+worker pool with redundant assignment, label reuse across approaches and
+cost accounting.
+"""
+
+from repro.crowd.worker import Oracle, SimulatedWorker, Worker
+from repro.crowd.platform import CrowdPlatform, LabelRecord
+
+__all__ = ["Worker", "SimulatedWorker", "Oracle", "CrowdPlatform", "LabelRecord"]

@@ -1,0 +1,135 @@
+"""Question interfaces beyond the pairwise one (Related Work, Section II-A).
+
+The paper follows the *pairwise* interface throughout, but discusses the
+*multi-item* interface of Marcus et al. and CrowdER's question packing:
+one task shows up to ``k`` entities and workers group the duplicates,
+amortizing the per-question fee over several pairs.
+
+This module provides:
+
+* :class:`MultiItemQuestion` — a task over up to ``k`` entities whose
+  answer is a partition into same-object groups;
+* :func:`pack_questions` — CrowdER-style greedy packing of a pair set into
+  the minimum number of multi-item questions (each question at most ``k``
+  entities, every pair covered by some question);
+* :class:`MultiItemCrowd` — a simulated crowd answering multi-item tasks
+  with per-pair error, plus cost accounting comparable to the pairwise
+  platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class MultiItemQuestion:
+    """One multi-item task: a small set of entities to be grouped."""
+
+    entities: frozenset[str]
+
+    def covers(self, pair: Pair) -> bool:
+        return pair[0] in self.entities and pair[1] in self.entities
+
+
+def pack_questions(pairs: list[Pair], k: int) -> list[MultiItemQuestion]:
+    """Greedy pair packing: cover every pair with ≤k-entity questions.
+
+    Wang et al. (CrowdER) show minimizing the number of multi-item
+    questions is NP-hard and use a greedy heuristic; this is the same
+    idea: keep adding the pair that introduces the fewest new entities to
+    the current question, opening a new question when ``k`` is reached.
+    """
+    if k < 2:
+        raise ValueError("a multi-item question needs room for at least 2 entities")
+    remaining = sorted(set(pairs))
+    questions: list[MultiItemQuestion] = []
+    while remaining:
+        current: set[str] = set()
+        progressed = True
+        while progressed:
+            progressed = False
+            best_index = -1
+            best_new = k + 1
+            for i, pair in enumerate(remaining):
+                new = len({pair[0], pair[1]} - current)
+                if len(current) + new <= k and new < best_new:
+                    best_index, best_new = i, new
+                    if new == 0:
+                        break
+            if best_index >= 0:
+                pair = remaining.pop(best_index)
+                current.update(pair)
+                progressed = True
+        if not current:  # k too small to even hold one pair's entities
+            pair = remaining.pop(0)
+            current = {pair[0], pair[1]}
+        questions.append(MultiItemQuestion(frozenset(current)))
+    return questions
+
+
+@dataclass(slots=True)
+class MultiItemCrowd:
+    """Simulated workers for multi-item questions.
+
+    Each within-question pair is judged independently with the given error
+    rate; the answer is the partition induced by the (possibly wrong)
+    positive judgments.  One question costs one unit regardless of the
+    number of entities shown, which is the interface's selling point.
+    """
+
+    truth: set[Pair]
+    error_rate: float = 0.0
+    seed: int = 0
+    questions_asked: int = field(default=0, init=False)
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def _pair_is_match(self, a: str, b: str) -> bool:
+        truth = (a, b) in self.truth or (b, a) in self.truth
+        if self._rng.random() < self.error_rate:
+            return not truth
+        return truth
+
+    def answer(self, question: MultiItemQuestion) -> list[set[str]]:
+        """Return the partition a worker produces for ``question``."""
+        self.questions_asked += 1
+        entities = sorted(question.entities)
+        groups: list[set[str]] = []
+        for entity in entities:
+            for group in groups:
+                representative = sorted(group)[0]
+                if self._pair_is_match(entity, representative):
+                    group.add(entity)
+                    break
+            else:
+                groups.append({entity})
+        return groups
+
+    def matched_pairs(self, question: MultiItemQuestion) -> set[Pair]:
+        """Pairs co-grouped in the worker's answer (both orders)."""
+        result: set[Pair] = set()
+        for group in self.answer(question):
+            members = sorted(group)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    result.add((a, b))
+                    result.add((b, a))
+        return result
+
+
+def pairwise_cost(pairs: list[Pair]) -> int:
+    """Cost of labeling the pair set through the pairwise interface."""
+    return len(set(pairs))
+
+
+def multi_item_cost(pairs: list[Pair], k: int) -> int:
+    """Cost of labeling the pair set through ≤k-entity multi-item tasks."""
+    return len(pack_questions(pairs, k))

@@ -1,0 +1,125 @@
+"""Simulated crowdsourcing platform.
+
+Publishes pairwise questions to a pool of workers, assigns each question to
+``workers_per_question`` distinct workers, records every label, and reuses
+labels so that different ER approaches asking the same question receive
+identical answers — exactly the protocol of the paper's real-worker
+experiment ("we reuse the label to each question for all approaches").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crowd.worker import Oracle, SimulatedWorker, Worker
+
+Question = tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class LabelRecord:
+    """One worker's label for one question."""
+
+    question: Question
+    worker_id: str
+    label: bool
+    worker_quality: float
+
+
+class CrowdPlatform:
+    """A micro-task market over a fixed worker pool.
+
+    Parameters
+    ----------
+    workers:
+        The worker pool; questions are assigned to random distinct subsets.
+    truth:
+        Gold standard used to generate worker answers — the set of matching
+        pairs.  Any question not in the set is a true non-match.
+    workers_per_question:
+        Redundancy level (the paper uses 5).
+    seed:
+        Seed for worker assignment.
+    """
+
+    def __init__(
+        self,
+        workers: list[Worker],
+        truth: set[Question],
+        workers_per_question: int = 5,
+        seed: int = 0,
+    ):
+        if not workers:
+            raise ValueError("worker pool must not be empty")
+        if workers_per_question < 1:
+            raise ValueError("workers_per_question must be positive")
+        self.workers = list(workers)
+        self.truth = truth
+        self.workers_per_question = min(workers_per_question, len(self.workers))
+        self._rng = random.Random(seed)
+        self._label_cache: dict[Question, list[LabelRecord]] = {}
+        #: Total number of distinct questions ever published (billing unit).
+        self.questions_asked = 0
+        #: Total number of worker labels collected.
+        self.labels_collected = 0
+
+    # ------------------------------------------------------------------
+    def ask(self, question: Question) -> list[LabelRecord]:
+        """Publish ``question``; return its (possibly cached) labels.
+
+        The first time a question is asked it is billed and assigned to
+        ``workers_per_question`` distinct workers; subsequent asks reuse the
+        recorded labels at no cost.
+        """
+        cached = self._label_cache.get(question)
+        if cached is not None:
+            return cached
+        truth = question in self.truth
+        assigned = self._rng.sample(self.workers, self.workers_per_question)
+        records = [
+            LabelRecord(question, w.worker_id, w.answer(question, truth), w.quality)
+            for w in assigned
+        ]
+        self._label_cache[question] = records
+        self.questions_asked += 1
+        self.labels_collected += len(records)
+        return records
+
+    def ask_batch(self, questions: list[Question]) -> dict[Question, list[LabelRecord]]:
+        """Publish a batch (one human–machine loop)."""
+        return {q: self.ask(q) for q in questions}
+
+    def majority_label(self, question: Question) -> bool:
+        """Simple majority vote over the recorded labels for ``question``."""
+        records = self.ask(question)
+        positive = sum(1 for r in records if r.label)
+        return positive * 2 > len(records)
+
+    def reset_billing(self) -> None:
+        """Zero the cost counters but keep cached labels (label reuse)."""
+        self.questions_asked = 0
+        self.labels_collected = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_simulated_workers(
+        cls,
+        truth: set[Question],
+        num_workers: int = 50,
+        error_rate: float = 0.05,
+        workers_per_question: int = 5,
+        seed: int = 0,
+    ) -> "CrowdPlatform":
+        """Pool of fixed-error-rate workers (the Figure 3 setting)."""
+        rng = random.Random(seed)
+        workers: list[Worker] = [
+            SimulatedWorker(f"w{i}", error_rate, seed=rng.randrange(2**31))
+            for i in range(num_workers)
+        ]
+        return cls(workers, truth, workers_per_question, seed=rng.randrange(2**31))
+
+    @classmethod
+    def with_oracle(cls, truth: set[Question]) -> "CrowdPlatform":
+        """Single perfect worker (ground-truth-label experiments)."""
+        return cls([Oracle()], truth, workers_per_question=1)

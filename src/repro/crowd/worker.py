@@ -1,0 +1,60 @@
+"""Worker models for the crowdsourcing simulation.
+
+Each worker follows the *worker probability model* (Zheng et al., VLDB'17):
+a single quality λ ∈ (0, 1] is the probability of labeling any question
+correctly.  Crowd platforms expose the quality measured in a qualification
+test; truth inference (Eq. 17) consumes it.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class Worker(ABC):
+    """A crowd worker who answers pairwise match questions."""
+
+    def __init__(self, worker_id: str, quality: float):
+        if not 0.0 < quality <= 1.0:
+            raise ValueError(f"quality must be in (0, 1], got {quality}")
+        self.worker_id = worker_id
+        #: Estimated probability of answering correctly (qualification test).
+        self.quality = quality
+
+    @abstractmethod
+    def answer(self, question: tuple[str, str], truth: bool) -> bool:
+        """Return this worker's label for ``question`` given its ``truth``.
+
+        The simulation passes the gold answer; concrete workers corrupt it
+        according to their own error model.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.worker_id!r}, quality={self.quality:.2f})"
+
+
+class SimulatedWorker(Worker):
+    """Worker who flips the true label with probability ``error_rate``."""
+
+    def __init__(self, worker_id: str, error_rate: float, seed: int = 0):
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError(f"error_rate must be in [0, 1), got {error_rate}")
+        super().__init__(worker_id, quality=1.0 - error_rate)
+        self.error_rate = error_rate
+        self._rng = random.Random(seed)
+
+    def answer(self, question: tuple[str, str], truth: bool) -> bool:
+        if self._rng.random() < self.error_rate:
+            return not truth
+        return truth
+
+
+class Oracle(Worker):
+    """A perfect worker; used for the ground-truth-label experiments."""
+
+    def __init__(self, worker_id: str = "oracle"):
+        super().__init__(worker_id, quality=1.0)
+
+    def answer(self, question: tuple[str, str], truth: bool) -> bool:
+        return truth

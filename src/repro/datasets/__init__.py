@@ -1,0 +1,32 @@
+"""Synthetic dataset suite.
+
+The paper evaluates on four datasets (Table II): the IIMB benchmark,
+DBLP-ACM, IMDB-YAGO and DBpedia-YAGO.  The original dumps are not available
+offline, so this package synthesizes seeded two-KB worlds whose *structural
+profile* mirrors each dataset: schema heterogeneity, relationship density,
+entity-type mix, label noise, missing labels and the share of isolated
+entities.  See DESIGN.md §3 for the substitution rationale.
+"""
+
+from repro.datasets.synthesis import (
+    AttributeSpec,
+    DatasetBundle,
+    NoiseConfig,
+    RelationSpec,
+    TypeSpec,
+    WorldConfig,
+    generate_dataset,
+)
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+
+__all__ = [
+    "AttributeSpec",
+    "RelationSpec",
+    "TypeSpec",
+    "NoiseConfig",
+    "WorldConfig",
+    "DatasetBundle",
+    "generate_dataset",
+    "load_dataset",
+    "DATASET_NAMES",
+]

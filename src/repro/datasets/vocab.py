@@ -1,0 +1,52 @@
+"""Deterministic token vocabulary for synthetic entity labels.
+
+Labels are built from pronounceable pseudo-words so that token-set
+similarities behave like real labels: distinct entities rarely share all
+tokens, related entities share some, and typos only dent one token.
+"""
+
+from __future__ import annotations
+
+import random
+
+_ONSETS = ["b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "k", "l",
+           "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "w", "z"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"]
+_CODAS = ["", "n", "r", "s", "t", "l", "m", "ck", "nd", "st"]
+
+
+def make_word(rng: random.Random, syllables: int = 2) -> str:
+    """Generate one pronounceable pseudo-word."""
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS) + rng.choice(_NUCLEI) + rng.choice(_CODAS))
+    return "".join(parts)
+
+
+def make_vocabulary(rng: random.Random, size: int) -> list[str]:
+    """Generate ``size`` distinct pseudo-words."""
+    seen: set[str] = set()
+    words: list[str] = []
+    attempts = 0
+    while len(words) < size:
+        syllables = 2 + (attempts // (size * 4))  # grow words if space exhausted
+        word = make_word(rng, syllables)
+        attempts += 1
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+def typo(rng: random.Random, word: str) -> str:
+    """Introduce a single character-level typo into ``word``."""
+    if not word:
+        return word
+    pos = rng.randrange(len(word))
+    op = rng.randrange(3)
+    letter = chr(ord("a") + rng.randrange(26))
+    if op == 0:  # substitution
+        return word[:pos] + letter + word[pos + 1 :]
+    if op == 1:  # deletion
+        return word[:pos] + word[pos + 1 :]
+    return word[:pos] + letter + word[pos:]  # insertion

@@ -1,0 +1,17 @@
+"""Evaluation metrics and table formatting for the experiments."""
+
+from repro.eval.metrics import (
+    MatchQuality,
+    evaluate_matches,
+    f1_score,
+    pair_completeness,
+    reduction_ratio,
+)
+
+__all__ = [
+    "MatchQuality",
+    "evaluate_matches",
+    "f1_score",
+    "pair_completeness",
+    "reduction_ratio",
+]

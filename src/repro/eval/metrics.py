@@ -1,0 +1,70 @@
+"""Standard ER evaluation metrics.
+
+Precision / recall / F1 for match sets, and the blocking metrics of
+Table V: reduction ratio (fraction of candidates pruned) and pair
+completeness (fraction of true matches preserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection
+
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class MatchQuality:
+    """Precision/recall/F1 with the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted: int
+    actual: int
+
+    def as_row(self) -> str:
+        return (
+            f"P={self.precision:6.1%}  R={self.recall:6.1%}  F1={self.f1:6.1%}  "
+            f"(tp={self.true_positives}, predicted={self.predicted}, gold={self.actual})"
+        )
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean, 0.0 when both inputs are 0."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def evaluate_matches(predicted: Collection[Pair], gold: Collection[Pair]) -> MatchQuality:
+    """Compare a predicted match set against the gold standard."""
+    predicted_set = set(predicted)
+    gold_set = set(gold)
+    tp = len(predicted_set & gold_set)
+    precision = tp / len(predicted_set) if predicted_set else 0.0
+    recall = tp / len(gold_set) if gold_set else 0.0
+    return MatchQuality(
+        precision=precision,
+        recall=recall,
+        f1=f1_score(precision, recall),
+        true_positives=tp,
+        predicted=len(predicted_set),
+        actual=len(gold_set),
+    )
+
+
+def reduction_ratio(num_before: int, num_after: int) -> float:
+    """Fraction of pairs removed by a pruning step."""
+    if num_before == 0:
+        return 0.0
+    return 1.0 - num_after / num_before
+
+
+def pair_completeness(retained: Collection[Pair], gold: Collection[Pair]) -> float:
+    """Fraction of true matches surviving in a candidate/retained set."""
+    gold_set = set(gold)
+    if not gold_set:
+        return 0.0
+    return len(set(retained) & gold_set) / len(gold_set)

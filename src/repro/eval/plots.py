@@ -1,0 +1,59 @@
+"""ASCII line plots for the figure drivers.
+
+Rough terminal rendering of the paper's figure panels so the shapes can be
+eyeballed without matplotlib (offline environment).
+"""
+
+from __future__ import annotations
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, list[float]],
+    x_labels: list[str],
+    height: int = 12,
+    title: str = "",
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render named series of equal length as an ASCII chart.
+
+    Each series gets a marker from :data:`_MARKERS`; collisions show the
+    later series' marker.  Values are scaled to the joint min/max.
+    """
+    if not series:
+        return title
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("all series must match the length of x_labels")
+    values = [v for vs in series.values() for v in vs]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+
+    width = len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in enumerate(ys):
+            row = int(round((high - y) / span * (height - 1)))
+            grid[row][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_width = max(len(y_format.format(high)), len(y_format.format(low)))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_format.format(high)
+        elif row_index == height - 1:
+            label = y_format.format(low)
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_width}} |" + "  ".join(row))
+    lines.append(" " * axis_width + " +" + "-" * (3 * width - 2))
+    lines.append(" " * axis_width + "  " + "  ".join(f"{x[:2]:2s}" for x in x_labels))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(sorted(series))
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Experiment drivers, one per table/figure of the paper's Section VIII.
+
+Every driver exposes ``run(scale, seed, ...) -> ExperimentResult`` returning
+the rows the corresponding paper artifact reports, plus a ``main()`` that
+prints the rendered table.  The benchmark harness under ``benchmarks/``
+wraps these drivers; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

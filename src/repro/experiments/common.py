@@ -1,0 +1,84 @@
+"""Shared infrastructure for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import Remp, RempConfig
+from repro.core.pipeline import PreparedState
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.datasets.registry import DISPLAY_NAMES
+from repro.datasets.synthesis import DatasetBundle
+
+Pair = tuple[str, str]
+
+#: Error rate of the simulated "real" MTurk workers (≥95% approval).
+REAL_WORKER_ERROR_RATE = 0.05
+#: Redundancy used throughout the paper.
+WORKERS_PER_QUESTION = 5
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """A rendered table plus the raw values for tests and benches."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+    raw: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows)) if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def display_name(dataset: str) -> str:
+    return DISPLAY_NAMES.get(dataset, dataset)
+
+
+def prepared_state(bundle: DatasetBundle, config: RempConfig | None = None) -> PreparedState:
+    """Offline Remp artifacts for a bundle (shared across approaches)."""
+    return Remp(config or RempConfig()).prepare(bundle.kb1, bundle.kb2)
+
+
+def real_worker_platform(bundle: DatasetBundle, seed: int = 0) -> CrowdPlatform:
+    """The Table III crowd: high-quality workers, 5 labels per question."""
+    return CrowdPlatform.with_simulated_workers(
+        bundle.gold_matches,
+        num_workers=50,
+        error_rate=REAL_WORKER_ERROR_RATE,
+        workers_per_question=WORKERS_PER_QUESTION,
+        seed=seed,
+    )
+
+
+def error_rate_platform(
+    bundle: DatasetBundle, error_rate: float, seed: int = 0
+) -> CrowdPlatform:
+    """The Figure 3 crowd: fixed error rate, 5 labels per question."""
+    return CrowdPlatform.with_simulated_workers(
+        bundle.gold_matches,
+        num_workers=50,
+        error_rate=error_rate,
+        workers_per_question=WORKERS_PER_QUESTION,
+        seed=seed,
+    )
+
+
+def load(dataset: str, seed: int = 0, scale: float = 1.0) -> DatasetBundle:
+    return load_dataset(dataset, seed=seed, scale=scale)
+
+
+def percent(x: float) -> str:
+    return f"{x * 100:.1f}%"

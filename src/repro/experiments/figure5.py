@@ -1,0 +1,72 @@
+"""Figure 5: F1-score of Remp, MaxInf and MaxPr w.r.t. number of questions.
+
+µ = 1, ground-truth labels (an oracle crowd), question budgets swept over
+powers of two.  Expected shape: Remp's benefit function reaches any given
+F1 with the fewest questions; MaxPr flattens early (it ignores inference
+power), MaxInf wastes questions on likely non-matches.
+"""
+
+from __future__ import annotations
+
+from repro.core import Remp, RempConfig
+from repro.crowd import CrowdPlatform
+from repro.datasets import DATASET_NAMES
+from repro.eval import evaluate_matches
+from repro.experiments.common import ExperimentResult, display_name, load, percent, prepared_state
+
+BUDGETS = (1, 2, 4, 8, 16, 32, 64)
+STRATEGIES = ("remp", "maxinf", "maxpr")
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    budgets: tuple[int, ...] = BUDGETS,
+) -> ExperimentResult:
+    headers = ["Dataset", "Strategy"] + [f"#Q<={b}" for b in budgets]
+    rows = []
+    raw: dict = {}
+    for dataset in datasets:
+        bundle = load(dataset, seed=seed, scale=scale)
+        state = prepared_state(bundle)
+        series: dict[str, list[float]] = {}
+        for strategy in STRATEGIES:
+            f1_curve = []
+            for budget in budgets:
+                config = RempConfig(mu=1, budget=budget, isolated_seed_questions=0)
+                platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+                result = Remp(config).run(
+                    bundle.kb1, bundle.kb2, platform, strategy=strategy, state=state
+                )
+                f1_curve.append(evaluate_matches(result.matches, bundle.gold_matches).f1)
+            series[strategy] = f1_curve
+            rows.append([display_name(dataset), strategy] + [percent(v) for v in f1_curve])
+        raw[dataset] = series
+    return ExperimentResult(
+        "Figure 5: F1-score of Remp, MaxInf and MaxPr w.r.t. #questions (mu=1, oracle)",
+        headers,
+        rows,
+        raw,
+    )
+
+
+def main() -> None:
+    result = run()
+    print(result.render())
+    from repro.eval.plots import ascii_plot
+
+    for dataset, series in result.raw.items():
+        print()
+        print(
+            ascii_plot(
+                series,
+                x_labels=[str(b) for b in BUDGETS],
+                title=f"{display_name(dataset)}: F1 vs #questions",
+                y_format="{:.0%}",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Knowledge base substrate.
+
+A knowledge base is a 5-tuple ``K = (U, L, A, R, T)`` of entities, literals,
+attributes, relationships and triples (Section III-A of the paper).  This
+package provides the in-memory data model, serialization, and summary
+statistics used by every other layer of the library.
+"""
+
+from repro.kb.model import KnowledgeBase, Triple
+from repro.kb.stats import KBStatistics, describe
+from repro.kb.io import load_kb_json, save_kb_json, load_kb_tsv, save_kb_tsv
+
+__all__ = [
+    "KnowledgeBase",
+    "Triple",
+    "KBStatistics",
+    "describe",
+    "load_kb_json",
+    "save_kb_json",
+    "load_kb_tsv",
+    "save_kb_tsv",
+]

@@ -1,0 +1,77 @@
+"""Serialization for knowledge bases.
+
+Two formats are supported:
+
+* **JSON** — a single document with explicit attribute and relationship
+  triple lists.  Lossless for any literal type JSON can express.
+* **TSV** — one triple per line (``subject<TAB>property<TAB>value<TAB>kind``)
+  in the style of common public KB dumps.  Literals are stored as strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.kb.model import KnowledgeBase
+
+
+def save_kb_json(kb: KnowledgeBase, path: str | Path) -> None:
+    """Write ``kb`` to ``path`` as a JSON document."""
+    doc = {
+        "name": kb.name,
+        "entities": sorted(kb.entities),
+        "attribute_triples": [
+            [t.subject, t.prop, t.value] for t in kb.iter_attribute_triples()
+        ],
+        "relationship_triples": [
+            [t.subject, t.prop, t.value] for t in kb.iter_relationship_triples()
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def load_kb_json(path: str | Path) -> KnowledgeBase:
+    """Read a KB previously written by :func:`save_kb_json`."""
+    doc = json.loads(Path(path).read_text())
+    kb = KnowledgeBase(doc.get("name", "kb"))
+    for entity in doc.get("entities", []):
+        kb.add_entity(entity)
+    for subject, prop, value in doc.get("attribute_triples", []):
+        kb.add_attribute_triple(subject, prop, value)
+    for subject, prop, value in doc.get("relationship_triples", []):
+        kb.add_relationship_triple(subject, prop, str(value))
+    return kb
+
+
+def save_kb_tsv(kb: KnowledgeBase, path: str | Path) -> None:
+    """Write ``kb`` as tab-separated triples with a ``kind`` column."""
+    lines = []
+    for t in kb.iter_attribute_triples():
+        lines.append(f"{t.subject}\t{t.prop}\t{t.value}\tA")
+    for t in kb.iter_relationship_triples():
+        lines.append(f"{t.subject}\t{t.prop}\t{t.value}\tR")
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_kb_tsv(path: str | Path, name: str = "kb") -> KnowledgeBase:
+    """Read a KB previously written by :func:`save_kb_tsv`.
+
+    All literal values come back as strings; numeric literals should be
+    parsed downstream if needed (the similarity layer accepts both).
+    """
+    kb = KnowledgeBase(name)
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise ValueError(f"{path}:{line_no}: expected 4 tab-separated fields, got {len(parts)}")
+        subject, prop, value, kind = parts
+        if kind == "A":
+            kb.add_attribute_triple(subject, prop, value)
+        elif kind == "R":
+            kb.add_relationship_triple(subject, prop, value)
+        else:
+            raise ValueError(f"{path}:{line_no}: unknown triple kind {kind!r}")
+    return kb

@@ -1,0 +1,216 @@
+"""In-memory knowledge base model.
+
+The paper models a KB as a 5-tuple ``K = (U, L, A, R, T)`` where attribute
+triples ``(entity, attribute, literal)`` attach literals to entities and
+relationship triples ``(entity, relationship, entity)`` link entities.  The
+algorithms in :mod:`repro.core` only ever touch a KB through the value-set
+accessors ``attribute_values`` (``N^a_u``) and ``relation_values``
+(``N^r_u``), plus the label and neighborhood indexes, so those are kept as
+precomputed dictionaries for O(1) lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+#: Attribute conventionally holding an entity's human-readable label.
+LABEL_ATTRIBUTE = "rdfs:label"
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A single KB fact ``(subject, property, value)``.
+
+    ``is_relation`` distinguishes relationship triples (value is an entity
+    identifier) from attribute triples (value is a literal).
+    """
+
+    subject: str
+    prop: str
+    value: object
+    is_relation: bool = False
+
+    def as_tuple(self) -> tuple[str, str, object]:
+        return (self.subject, self.prop, self.value)
+
+
+class KnowledgeBase:
+    """A mutable knowledge base with value-set and neighborhood indexes.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in logs, dataset registries and error messages.
+
+    Examples
+    --------
+    >>> kb = KnowledgeBase("demo")
+    >>> kb.add_entity("e1", label="Leonardo da Vinci")
+    >>> kb.add_attribute_triple("e1", "birth_date", "1452-04-15")
+    >>> kb.add_entity("m1", label="Mona Lisa")
+    >>> kb.add_relationship_triple("e1", "works", "m1")
+    >>> sorted(kb.relation_values("e1", "works"))
+    ['m1']
+    """
+
+    def __init__(self, name: str = "kb"):
+        self.name = name
+        self._entities: set[str] = set()
+        # entity -> attribute -> set of literals  (N^a_u)
+        self._attr_values: dict[str, dict[str, set[object]]] = {}
+        # entity -> relationship -> set of object entities  (N^r_u)
+        self._rel_values: dict[str, dict[str, set[str]]] = {}
+        # entity -> relationship -> set of subject entities (inverse index)
+        self._rel_sources: dict[str, dict[str, set[str]]] = {}
+        self._attributes: set[str] = set()
+        self._relationships: set[str] = set()
+        self._n_attr_triples = 0
+        self._n_rel_triples = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: str, label: str | None = None) -> None:
+        """Register ``entity``; optionally attach a ``rdfs:label`` literal."""
+        self._entities.add(entity)
+        if label is not None:
+            self.add_attribute_triple(entity, LABEL_ATTRIBUTE, label)
+
+    def add_attribute_triple(self, entity: str, attribute: str, literal: object) -> None:
+        """Add ``(entity, attribute, literal)`` to the attribute triples."""
+        self._entities.add(entity)
+        self._attributes.add(attribute)
+        values = self._attr_values.setdefault(entity, {}).setdefault(attribute, set())
+        if literal not in values:
+            values.add(literal)
+            self._n_attr_triples += 1
+
+    def add_relationship_triple(self, subject: str, relationship: str, obj: str) -> None:
+        """Add ``(subject, relationship, object)`` to the relationship triples."""
+        self._entities.add(subject)
+        self._entities.add(obj)
+        self._relationships.add(relationship)
+        objs = self._rel_values.setdefault(subject, {}).setdefault(relationship, set())
+        if obj not in objs:
+            objs.add(obj)
+            self._n_rel_triples += 1
+            self._rel_sources.setdefault(obj, {}).setdefault(relationship, set()).add(subject)
+
+    def add_triples(self, triples: Iterable[Triple]) -> None:
+        for t in triples:
+            if t.is_relation:
+                self.add_relationship_triple(t.subject, t.prop, str(t.value))
+            else:
+                self.add_attribute_triple(t.subject, t.prop, t.value)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def entities(self) -> set[str]:
+        return self._entities
+
+    @property
+    def attributes(self) -> set[str]:
+        return self._attributes
+
+    @property
+    def relationships(self) -> set[str]:
+        return self._relationships
+
+    @property
+    def num_attribute_triples(self) -> int:
+        return self._n_attr_triples
+
+    @property
+    def num_relationship_triples(self) -> int:
+        return self._n_rel_triples
+
+    def __contains__(self, entity: str) -> bool:
+        return entity in self._entities
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def attribute_values(self, entity: str, attribute: str) -> set[object]:
+        """Value set ``N^a_u`` — literals of ``attribute`` on ``entity``."""
+        return self._attr_values.get(entity, {}).get(attribute, set())
+
+    def relation_values(self, entity: str, relationship: str) -> set[str]:
+        """Value set ``N^r_u`` — objects of ``relationship`` on ``entity``."""
+        return self._rel_values.get(entity, {}).get(relationship, set())
+
+    def relation_sources(self, entity: str, relationship: str) -> set[str]:
+        """Inverse value set — subjects pointing at ``entity`` via ``relationship``."""
+        return self._rel_sources.get(entity, {}).get(relationship, set())
+
+    def entity_attributes(self, entity: str) -> dict[str, set[object]]:
+        """All attribute value sets of ``entity`` keyed by attribute name."""
+        return self._attr_values.get(entity, {})
+
+    def entity_relations(self, entity: str) -> dict[str, set[str]]:
+        """All outgoing relationship value sets of ``entity``."""
+        return self._rel_values.get(entity, {})
+
+    def entity_inverse_relations(self, entity: str) -> dict[str, set[str]]:
+        """All incoming relationship source sets of ``entity``."""
+        return self._rel_sources.get(entity, {})
+
+    def label(self, entity: str) -> str | None:
+        """The first ``rdfs:label`` of ``entity``, or ``None`` if unlabeled."""
+        labels = self.attribute_values(entity, LABEL_ATTRIBUTE)
+        if not labels:
+            return None
+        return min(str(v) for v in labels)
+
+    def labels(self, entity: str) -> set[str]:
+        return {str(v) for v in self.attribute_values(entity, LABEL_ATTRIBUTE)}
+
+    def has_relations(self, entity: str) -> bool:
+        """True if ``entity`` occurs in any relationship triple."""
+        return bool(self._rel_values.get(entity)) or bool(self._rel_sources.get(entity))
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def iter_attribute_triples(self) -> Iterator[Triple]:
+        for entity, by_attr in self._attr_values.items():
+            for attribute, literals in by_attr.items():
+                for literal in literals:
+                    yield Triple(entity, attribute, literal, is_relation=False)
+
+    def iter_relationship_triples(self) -> Iterator[Triple]:
+        for subject, by_rel in self._rel_values.items():
+            for relationship, objects in by_rel.items():
+                for obj in objects:
+                    yield Triple(subject, relationship, obj, is_relation=True)
+
+    def iter_triples(self) -> Iterator[Triple]:
+        yield from self.iter_attribute_triples()
+        yield from self.iter_relationship_triples()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeBase(name={self.name!r}, entities={len(self._entities)}, "
+            f"attributes={len(self._attributes)}, relationships={len(self._relationships)}, "
+            f"attr_triples={self._n_attr_triples}, rel_triples={self._n_rel_triples})"
+        )
+
+
+@dataclass(slots=True)
+class EntityPair:
+    """An ordered pair of entities, one from each KB.
+
+    Entity pairs are the vertices of the ER graph.  They are hashable and
+    compare by the underlying identifiers, so plain tuples may be used
+    interchangeably; this class exists for readability at API boundaries.
+    """
+
+    left: str
+    right: str
+    prior: float = field(default=0.5, compare=False)
+
+    def as_tuple(self) -> tuple[str, str]:
+        return (self.left, self.right)

@@ -1,0 +1,46 @@
+"""Summary statistics for knowledge bases (Table II style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kb.model import KnowledgeBase
+
+
+@dataclass(frozen=True, slots=True)
+class KBStatistics:
+    """Counts reported in the paper's Table II plus density measures."""
+
+    name: str
+    num_entities: int
+    num_attributes: int
+    num_relationships: int
+    num_attribute_triples: int
+    num_relationship_triples: int
+    mean_out_degree: float
+    num_isolated_entities: int
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name}: |U|={self.num_entities} |A|={self.num_attributes} "
+            f"|R|={self.num_relationships} attr_triples={self.num_attribute_triples} "
+            f"rel_triples={self.num_relationship_triples} "
+            f"deg={self.mean_out_degree:.2f} isolated={self.num_isolated_entities}"
+        )
+
+
+def describe(kb: KnowledgeBase) -> KBStatistics:
+    """Compute :class:`KBStatistics` for ``kb``."""
+    isolated = sum(1 for e in kb.entities if not kb.has_relations(e))
+    n = len(kb.entities)
+    mean_deg = kb.num_relationship_triples / n if n else 0.0
+    return KBStatistics(
+        name=kb.name,
+        num_entities=n,
+        num_attributes=len(kb.attributes),
+        num_relationships=len(kb.relationships),
+        num_attribute_triples=kb.num_attribute_triples,
+        num_relationship_triples=kb.num_relationship_triples,
+        mean_out_degree=mean_deg,
+        num_isolated_entities=isolated,
+    )

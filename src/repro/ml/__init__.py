@@ -1,0 +1,14 @@
+"""Machine-learning substrate: CART decision trees and random forests.
+
+The paper trains a scikit-learn random forest with default parameters to
+classify isolated entity pairs (Section VII-B), and the Corleone baseline is
+built around active learning with random forests.  scikit-learn is not
+available offline, so this package provides a from-scratch implementation
+with the same default behaviour (100 trees, Gini impurity, sqrt feature
+subsampling, bootstrap sampling).
+"""
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.random_forest import RandomForestClassifier
+
+__all__ = ["DecisionTreeClassifier", "RandomForestClassifier"]

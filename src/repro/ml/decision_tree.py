@@ -1,0 +1,173 @@
+"""CART decision tree classifier (binary labels) on dense float features.
+
+A compact, numpy-based implementation: greedy recursive partitioning on
+axis-aligned thresholds chosen to minimize weighted Gini impurity.  Supports
+feature subsampling per split (``max_features``) so it can serve as the base
+learner of :class:`repro.ml.random_forest.RandomForestClassifier`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class _Node:
+    """A tree node; leaves carry a probability, internal nodes a split."""
+
+    prob: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(pos: float, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    p = pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until purity or ``min_samples_split``.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    max_features:
+        Number of features examined per split; ``None`` uses all, ``"sqrt"``
+        uses ``ceil(sqrt(n_features))``.
+    rng:
+        Source of randomness for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._root: _Node | None = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit on feature matrix ``X`` (n×d) and 0/1 labels ``y`` (n)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be a 2-D array")
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same length")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._n_features = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _features_per_split(self) -> int:
+        if self.max_features is None:
+            return self._n_features
+        if self.max_features == "sqrt":
+            return max(1, math.ceil(math.sqrt(self._n_features)))
+        return min(self._n_features, int(self.max_features))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n = len(y)
+        pos = float(y.sum())
+        prob = pos / n
+        if (
+            n < self.min_samples_split
+            or pos == 0.0
+            or pos == n
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return _Node(prob=prob)
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(prob=prob)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], depth + 1)
+        right = self._build(X[~mask], y[~mask], depth + 1)
+        return _Node(prob=prob, feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        n, d = X.shape
+        k = self._features_per_split()
+        if k < d:
+            features = self._rng.choice(d, size=k, replace=False)
+        else:
+            features = np.arange(d)
+        total_pos = float(y.sum())
+        best_impurity = _gini(total_pos, n)
+        best: tuple[int, float] | None = None
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            pos_cum = np.cumsum(ys)
+            # Candidate split points lie between distinct consecutive values.
+            distinct = np.nonzero(np.diff(xs) > 0)[0]
+            if len(distinct) == 0:
+                continue
+            left_n = distinct + 1
+            left_pos = pos_cum[distinct]
+            right_n = n - left_n
+            right_pos = total_pos - left_pos
+            impurity = (
+                left_n * (2 * (left_pos / left_n) * (1 - left_pos / left_n))
+                + right_n * (2 * (right_pos / right_n) * (1 - right_pos / right_n))
+            ) / n
+            idx = int(np.argmin(impurity))
+            if impurity[idx] < best_impurity - 1e-12:
+                best_impurity = float(impurity[idx])
+                cut = distinct[idx]
+                best = (int(feature), float((xs[cut] + xs[cut + 1]) / 2.0))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-row probability of the positive class."""
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(len(X), dtype=float)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prob
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """0/1 predictions at the 0.5 probability cut."""
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        return walk(self._root)

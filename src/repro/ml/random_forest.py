@@ -1,0 +1,84 @@
+"""Random forest classifier: bagged CART trees with feature subsampling.
+
+Mirrors scikit-learn's default configuration (100 trees, Gini, sqrt
+features, bootstrap) since the paper trains the isolated-pair classifier
+"with default parameter".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees for binary classification.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth:
+        Per-tree depth cap (``None`` = unlimited).
+    max_features:
+        Features examined per split; default ``"sqrt"``.
+    seed:
+        Seed for the bootstrap and feature subsampling randomness.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        max_features: int | str | None = "sqrt",
+        min_samples_split: int = 2,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples of (X, y)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.seed)
+        n = len(X)
+        self._trees = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean positive-class probability across trees."""
+        if not self._trees:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        acc = np.zeros(len(X), dtype=float)
+        for tree in self._trees:
+            acc += tree.predict_proba(X)
+        return acc / len(self._trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """0/1 predictions at the 0.5 probability cut."""
+        return (self.predict_proba(X) >= 0.5).astype(int)

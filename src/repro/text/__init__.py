@@ -1,0 +1,35 @@
+"""Text processing substrate: normalization and similarity measures.
+
+Section IV-B of the paper normalizes entity labels (lowercasing,
+tokenization, stemming) and compares the resulting token sets with the
+Jaccard coefficient; Section IV-C compares literal *sets* with an extended
+Jaccard measure built on per-literal similarities.  This package implements
+all of those pieces without external NLP dependencies.
+"""
+
+from repro.text.normalize import normalize_label, tokenize, stem
+from repro.text.similarity import (
+    jaccard,
+    dice,
+    cosine_tokens,
+    levenshtein,
+    edit_similarity,
+    numeric_similarity,
+    token_jaccard,
+)
+from repro.text.literal import literal_similarity, literal_set_similarity
+
+__all__ = [
+    "normalize_label",
+    "tokenize",
+    "stem",
+    "jaccard",
+    "dice",
+    "cosine_tokens",
+    "levenshtein",
+    "edit_similarity",
+    "numeric_similarity",
+    "token_jaccard",
+    "literal_similarity",
+    "literal_set_similarity",
+]

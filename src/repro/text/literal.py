@@ -1,0 +1,84 @@
+"""Extended Jaccard similarity for sets of literals (Section IV-C).
+
+``simL`` compares two *sets* of literal values.  An internal per-literal
+measure decides when two literals "are the same" (similarity at or above a
+threshold, 0.9 in the paper); the set similarity is then the Jaccard-style
+ratio of matched literals to total literals.  Strings are compared with the
+token Jaccard coefficient and numbers with maximum percentage difference.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.text.normalize import normalize_label
+from repro.text.similarity import jaccard, numeric_similarity
+
+#: Paper default: internal literal similarity threshold for simL.
+DEFAULT_LITERAL_THRESHOLD = 0.9
+
+
+def _as_number(value: object) -> float | None:
+    """Interpret ``value`` as a number if possible, else ``None``."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            return float(text)
+        except ValueError:
+            return None
+    return None
+
+
+def literal_similarity(a: object, b: object) -> float:
+    """Similarity of two literals.
+
+    Numbers (or numeric strings) use maximum percentage difference; all
+    other values are compared as token sets with the Jaccard coefficient.
+    A number never matches a non-numeric string.
+    """
+    na, nb = _as_number(a), _as_number(b)
+    if na is not None and nb is not None:
+        return numeric_similarity(na, nb)
+    if (na is None) != (nb is None):
+        return 0.0
+    return jaccard(normalize_label(str(a)), normalize_label(str(b)))
+
+
+def literal_set_similarity(
+    values_a: Collection[object],
+    values_b: Collection[object],
+    threshold: float = DEFAULT_LITERAL_THRESHOLD,
+) -> float:
+    """Extended Jaccard ``simL`` between two literal sets.
+
+    A literal counts as *matched* when its best counterpart on the other
+    side has similarity >= ``threshold``.  The result is
+    ``matched / (|A| + |B| − matched)`` — the usual Jaccard form with soft
+    matching.  Two empty sets yield 0.0: no evidence is not a match signal
+    (the attribute-similarity aggregation in Eq. 1 skips such pairs).
+    """
+    if not values_a or not values_b:
+        return 0.0
+    list_a = list(values_a)
+    list_b = list(values_b)
+    matched_a = [False] * len(list_a)
+    matched_b = [False] * len(list_b)
+    # Greedy soft matching: each literal pairs with at most one counterpart.
+    for i, va in enumerate(list_a):
+        best_j, best_sim = -1, threshold
+        for j, vb in enumerate(list_b):
+            if matched_b[j]:
+                continue
+            sim = literal_similarity(va, vb)
+            if sim >= best_sim:
+                best_j, best_sim = j, sim
+        if best_j >= 0:
+            matched_a[i] = True
+            matched_b[best_j] = True
+    matched = sum(matched_a)
+    union = len(list_a) + len(list_b) - matched
+    return matched / union

@@ -1,0 +1,85 @@
+"""Label normalization: lowercasing, tokenization and light stemming.
+
+The paper normalizes entity labels "via lowercasing, tokenization, stemming,
+etc." before computing token-set similarities.  We implement a small
+rule-based suffix stemmer (a compact subset of the Porter rules) so the
+library has no NLP dependencies; the goal is stable token canonicalization,
+not linguistic perfection.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+# Suffix rules applied longest-first; each maps suffix -> replacement and a
+# minimum remaining stem length that must survive the strip.
+_SUFFIX_RULES: tuple[tuple[str, str, int], ...] = (
+    ("ational", "ate", 3),
+    ("ization", "ize", 3),
+    ("fulness", "ful", 3),
+    ("ousness", "ous", 3),
+    ("iveness", "ive", 3),
+    ("tional", "tion", 3),
+    ("biliti", "ble", 3),
+    ("lessli", "less", 3),
+    ("entli", "ent", 3),
+    ("ation", "ate", 3),
+    ("alism", "al", 3),
+    ("aliti", "al", 3),
+    ("ement", "e", 3),
+    ("ments", "ment", 3),
+    ("iviti", "ive", 3),
+    ("ness", "", 3),
+    ("able", "", 3),
+    ("ible", "", 3),
+    ("ings", "", 3),
+    ("sses", "ss", 2),
+    ("ies", "i", 2),
+    ("ied", "i", 2),
+    ("ing", "", 3),
+    ("ers", "er", 3),
+    ("est", "", 4),
+    ("ed", "", 3),
+    ("ie", "i", 3),
+    ("ly", "", 3),
+    ("s", "", 3),
+)
+
+
+def stem(token: str) -> str:
+    """Strip a common English suffix from ``token`` (single pass).
+
+    >>> stem("movies")
+    'movi'
+    >>> stem("directed")
+    'direct'
+    >>> stem("acting")
+    'act'
+    """
+    for suffix, replacement, min_stem in _SUFFIX_RULES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= min_stem:
+            return token[: len(token) - len(suffix)] + replacement
+    return token
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase ``text`` and split into alphanumeric tokens.
+
+    >>> tokenize("The Cradle Will Rock (1999 film)")
+    ['the', 'cradle', 'will', 'rock', '1999', 'film']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def normalize_label(text: str, stemming: bool = True) -> frozenset[str]:
+    """Normalize an entity label into a canonical token set.
+
+    Tokens are lowercased, split on non-alphanumerics and (optionally)
+    stemmed.  The result is a frozenset so it can key caches directly.
+    """
+    tokens = tokenize(text)
+    if stemming:
+        tokens = [stem(t) for t in tokens]
+    return frozenset(tokens)

@@ -1,0 +1,96 @@
+"""Tests for attribute matching with the 1:1 constraint (Section IV-C)."""
+
+import pytest
+
+from repro.core.attributes import attribute_similarity_matrix, match_attributes
+from repro.kb import KnowledgeBase
+
+
+@pytest.fixture()
+def kbs_with_initial():
+    kb1 = KnowledgeBase("kb1")
+    kb2 = KnowledgeBase("kb2")
+    initial = set()
+    for i in range(6):
+        e1, e2 = f"a{i}", f"b{i}"
+        kb1.add_entity(e1, label=f"entity {i}")
+        kb2.add_entity(e2, label=f"entity {i}")
+        kb1.add_attribute_triple(e1, "birth", f"19{i}0-01-0{i+1}")
+        kb2.add_attribute_triple(e2, "born", f"19{i}0-01-0{i+1}")
+        kb1.add_attribute_triple(e1, "job", "word" + str(i))
+        kb2.add_attribute_triple(e2, "profession", "word" + str(i))
+        initial.add((e1, e2))
+    return kb1, kb2, initial
+
+
+def test_similarity_matrix_scores_true_pairs_high(kbs_with_initial):
+    kb1, kb2, initial = kbs_with_initial
+    sims = attribute_similarity_matrix(kb1, kb2, initial)
+    assert sims[("birth", "born")] == pytest.approx(1.0)
+    assert sims[("job", "profession")] == pytest.approx(1.0)
+    # cross pairs present but weak
+    assert sims.get(("birth", "profession"), 0.0) < 0.5
+
+
+def test_label_attribute_excluded_by_default(kbs_with_initial):
+    kb1, kb2, initial = kbs_with_initial
+    sims = attribute_similarity_matrix(kb1, kb2, initial)
+    assert all("rdfs:label" not in key for key in sims)
+
+
+def test_one_to_one_matching(kbs_with_initial):
+    kb1, kb2, initial = kbs_with_initial
+    matches = match_attributes(kb1, kb2, initial)
+    found = {(m.attr1, m.attr2) for m in matches}
+    assert ("birth", "born") in found
+    assert ("job", "profession") in found
+    # 1:1: each attribute appears at most once
+    lefts = [m.attr1 for m in matches]
+    rights = [m.attr2 for m in matches]
+    assert len(set(lefts)) == len(lefts)
+    assert len(set(rights)) == len(rights)
+
+
+def test_without_one_to_one_returns_all_above_threshold(kbs_with_initial):
+    kb1, kb2, initial = kbs_with_initial
+    loose = match_attributes(kb1, kb2, initial, one_to_one=False, min_similarity=0.01)
+    strict = match_attributes(kb1, kb2, initial, one_to_one=True, min_similarity=0.01)
+    assert len(loose) >= len(strict)
+
+
+def test_no_initial_matches_yields_nothing():
+    kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+    kb1.add_entity("a", label="A")
+    kb2.add_entity("b", label="B")
+    assert match_attributes(kb1, kb2, set()) == []
+
+
+def test_min_similarity_filters(kbs_with_initial):
+    kb1, kb2, initial = kbs_with_initial
+    matches = match_attributes(kb1, kb2, initial, min_similarity=1.01)
+    assert matches == []
+
+
+def test_matches_sorted_by_similarity(kbs_with_initial):
+    kb1, kb2, initial = kbs_with_initial
+    matches = match_attributes(kb1, kb2, initial)
+    sims = [m.similarity for m in matches]
+    assert sims == sorted(sims, reverse=True)
+
+
+def test_one_to_one_resolves_conflicts():
+    """Two KB1 attributes competing for one KB2 attribute: best one wins."""
+    kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+    initial = set()
+    for i in range(4):
+        e1, e2 = f"a{i}", f"b{i}"
+        kb1.add_entity(e1)
+        kb2.add_entity(e2)
+        kb1.add_attribute_triple(e1, "exact", f"val{i} tok")
+        kb1.add_attribute_triple(e1, "noisy", f"val{i} other")
+        kb2.add_attribute_triple(e2, "target", f"val{i} tok")
+        initial.add((e1, e2))
+    matches = match_attributes(kb1, kb2, initial)
+    winner = [m for m in matches if m.attr2 == "target"]
+    assert len(winner) == 1
+    assert winner[0].attr1 == "exact"

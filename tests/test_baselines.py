@@ -1,0 +1,146 @@
+"""Tests for the baseline ER systems."""
+
+import random
+
+import pytest
+
+from repro.baselines import Corleone, Hike, Paris, Power, SiGMa
+from repro.baselines.base import partition_by_signature, vector_with_prior
+from repro.baselines.paris import functionality, inverse_functionality
+from repro.core import Remp
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.eval import evaluate_matches
+from repro.kb import KnowledgeBase
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("iimb", seed=0, scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def state(bundle):
+    return Remp().prepare(bundle.kb1, bundle.kb2)
+
+
+@pytest.fixture()
+def platform(bundle):
+    return CrowdPlatform.with_oracle(bundle.gold_matches)
+
+
+class TestPartitioning:
+    def test_partitions_cover_retained(self, state):
+        blocks = partition_by_signature(state)
+        covered = {pair for block in blocks for pair in block}
+        assert covered == state.retained
+        total = sum(len(b) for b in blocks)
+        assert total == len(state.retained)  # disjoint
+
+    def test_merge_threshold_one_keeps_identical_only(self, state):
+        fine = partition_by_signature(state, merge_threshold=1.0)
+        coarse = partition_by_signature(state, merge_threshold=0.3)
+        assert len(coarse) <= len(fine)
+
+    def test_vector_with_prior_leads_with_prior(self, state):
+        pair = sorted(state.retained)[0]
+        extended = vector_with_prior(state, pair)
+        assert extended == state.vector_index.vectors[pair]
+        assert extended[0] == state.priors[pair]
+
+
+class TestCrowdBaselines:
+    @pytest.mark.parametrize("cls", [Hike, Power, Corleone])
+    def test_reasonable_quality(self, cls, bundle, state, platform):
+        result = cls().run(state, platform)
+        quality = evaluate_matches(result.matches, bundle.gold_matches)
+        assert quality.f1 > 0.5
+        assert result.questions_asked > 0
+        assert result.questions_asked == platform.questions_asked
+
+    @pytest.mark.parametrize("cls", [Hike, Power, Corleone])
+    def test_deterministic(self, cls, bundle, state):
+        runs = []
+        for _ in range(2):
+            platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+            runs.append(cls().run(state, platform).matches)
+        assert runs[0] == runs[1]
+
+    def test_remp_asks_fewer_questions_than_baselines(self, bundle, state):
+        """The paper's headline: comparable F1 at far fewer questions."""
+        platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        remp = Remp().run(bundle.kb1, bundle.kb2, platform, state=state)
+        for cls in (Hike, Corleone):
+            other = CrowdPlatform.with_oracle(bundle.gold_matches)
+            baseline = cls().run(state, other)
+            assert remp.questions_asked < baseline.questions_asked
+
+    def test_question_budget_caps(self, bundle, state, platform):
+        result = Hike(max_questions_per_partition=1).run(state, platform)
+        blocks = partition_by_signature(state)
+        assert result.questions_asked <= len(blocks)
+
+
+class TestSeedBaselines:
+    @pytest.fixture(scope="class")
+    def seeds(self, bundle):
+        rng = random.Random(0)
+        gold = sorted(bundle.gold_matches)
+        return set(rng.sample(gold, int(0.6 * len(gold))))
+
+    def test_paris_improves_with_seeds(self, bundle, state, seeds):
+        with_seeds = Paris().run(state, seeds)
+        without = Paris().run(state, set())
+        q_with = evaluate_matches(with_seeds.matches, bundle.gold_matches)
+        q_without = evaluate_matches(without.matches, bundle.gold_matches)
+        assert q_with.f1 >= q_without.f1
+        assert with_seeds.questions_asked == 0
+
+    def test_sigma_improves_with_seeds(self, bundle, state, seeds):
+        with_seeds = SiGMa().run(state, seeds)
+        q = evaluate_matches(with_seeds.matches, bundle.gold_matches)
+        assert q.f1 > 0.6
+        assert with_seeds.questions_asked == 0
+
+    def test_sigma_one_to_one(self, state, seeds):
+        result = SiGMa().run(state, seeds)
+        lefts = [p[0] for p in result.matches]
+        rights = [p[1] for p in result.matches]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_paris_includes_seeds(self, state, seeds):
+        result = Paris().run(state, seeds)
+        assert seeds <= result.matches
+
+    def test_remp_propagation_beats_paris_and_sigma(self, bundle, state, seeds):
+        """Table VI's shape: Remp's propagation wins at equal seeds."""
+        remp_matches = Remp().propagate_only(bundle.kb1, bundle.kb2, seeds, state=state)
+        remp_f1 = evaluate_matches(remp_matches, bundle.gold_matches).f1
+        paris_f1 = evaluate_matches(Paris().run(state, seeds).matches, bundle.gold_matches).f1
+        assert remp_f1 >= paris_f1 - 0.05  # clear win or statistical tie
+
+
+class TestFunctionality:
+    def test_functional_relationship(self):
+        kb = KnowledgeBase("f")
+        for i in range(5):
+            kb.add_relationship_triple(f"s{i}", "r", f"o{i}")
+        assert functionality(kb, "r") == 1.0
+
+    def test_multivalued_relationship(self):
+        kb = KnowledgeBase("f")
+        kb.add_relationship_triple("s", "r", "o1")
+        kb.add_relationship_triple("s", "r", "o2")
+        assert functionality(kb, "r") == 0.5
+
+    def test_inverse_functionality(self):
+        kb = KnowledgeBase("f")
+        kb.add_relationship_triple("s1", "r", "o")
+        kb.add_relationship_triple("s2", "r", "o")
+        assert inverse_functionality(kb, "r") == 0.5
+
+    def test_missing_relationship_zero(self):
+        kb = KnowledgeBase("f")
+        assert functionality(kb, "none") == 0.0
+        assert inverse_functionality(kb, "none") == 0.0

@@ -1,0 +1,79 @@
+"""Tests for candidate entity match generation (Section IV-B)."""
+
+import pytest
+
+from repro.core.candidates import generate_candidates
+from repro.kb import KnowledgeBase
+
+
+@pytest.fixture()
+def kbs():
+    kb1 = KnowledgeBase("kb1")
+    kb1.add_entity("a1", label="New York City")
+    kb1.add_entity("a2", label="Joan Cusack")
+    kb1.add_entity("a3", label="Completely Different")
+    kb1.add_entity("a4")  # no label
+    kb2 = KnowledgeBase("kb2")
+    kb2.add_entity("b1", label="New York City")
+    kb2.add_entity("b2", label="John Cusack")
+    kb2.add_entity("b3", label="Unrelated Thing")
+    return kb1, kb2
+
+
+def test_exact_label_pair_is_candidate_and_initial(kbs):
+    kb1, kb2 = kbs
+    result = generate_candidates(kb1, kb2, threshold=0.3)
+    assert ("a1", "b1") in result.pairs
+    assert ("a1", "b1") in result.initial_matches
+    assert result.prior(("a1", "b1")) == 1.0
+
+
+def test_partial_overlap_is_candidate_not_initial(kbs):
+    kb1, kb2 = kbs
+    result = generate_candidates(kb1, kb2, threshold=0.3)
+    # "Joan Cusack" vs "John Cusack" share 'cusack' -> Jaccard 1/3
+    assert ("a2", "b2") in result.pairs
+    assert ("a2", "b2") not in result.initial_matches
+    assert 0.0 < result.prior(("a2", "b2")) < 1.0
+
+
+def test_disjoint_labels_not_candidates(kbs):
+    kb1, kb2 = kbs
+    result = generate_candidates(kb1, kb2, threshold=0.3)
+    assert ("a3", "b1") not in result.pairs
+    assert ("a3", "b3") not in result.pairs
+
+
+def test_unlabeled_entities_never_candidates(kbs):
+    kb1, kb2 = kbs
+    result = generate_candidates(kb1, kb2, threshold=0.3)
+    assert all(pair[0] != "a4" for pair in result.pairs)
+
+
+def test_threshold_filters(kbs):
+    kb1, kb2 = kbs
+    low = generate_candidates(kb1, kb2, threshold=0.2)
+    high = generate_candidates(kb1, kb2, threshold=0.9)
+    assert low.pairs >= high.pairs
+    assert ("a2", "b2") not in high.pairs
+
+
+def test_priors_are_jaccard_similarities(kbs):
+    kb1, kb2 = kbs
+    result = generate_candidates(kb1, kb2, threshold=0.1)
+    for pair, prior in result.priors.items():
+        assert 0.0 < prior <= 1.0
+
+
+def test_candidate_set_container_protocol(kbs):
+    kb1, kb2 = kbs
+    result = generate_candidates(kb1, kb2)
+    assert len(result) == len(result.pairs)
+    assert (("a1", "b1") in result) == (("a1", "b1") in result.pairs)
+    assert result.prior(("zz", "zz")) == 0.0
+
+
+def test_empty_kbs():
+    result = generate_candidates(KnowledgeBase("e1"), KnowledgeBase("e2"))
+    assert len(result) == 0
+    assert not result.initial_matches

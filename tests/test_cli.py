@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    for name in ("iimb", "dblp_acm", "imdb_yago", "dbpedia_yago"):
+        assert name in out
+
+
+def test_run_command_oracle(capsys):
+    assert main(["run", "iimb", "--scale", "0.2", "--error-rate", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "F1=" in out
+    assert "questions=" in out
+
+
+def test_run_command_with_budget(capsys):
+    assert main(["run", "iimb", "--scale", "0.2", "--budget", "3", "--error-rate", "0"]) == 0
+    assert "questions=" in capsys.readouterr().out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table5", "--scale", "0.2"]) == 0
+    assert "Table V" in capsys.readouterr().out
+
+
+def test_export_command(tmp_path, capsys):
+    assert main(["export", "iimb", str(tmp_path / "out"), "--scale", "0.2"]) == 0
+    gold = json.loads((tmp_path / "out" / "gold_matches.json").read_text())
+    assert gold
+    assert (tmp_path / "out" / "kb1.json").exists()
+    assert (tmp_path / "out" / "kb2.json").exists()
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nonsense"])
+
+
+def test_parser_lists_all_experiments():
+    parser = build_parser()
+    help_text = parser.format_help()
+    assert "experiment" in help_text

@@ -1,0 +1,122 @@
+"""Tests for relationship-consistency estimation (Section V-A)."""
+
+import pytest
+
+from repro.core.consistency import (
+    Consistency,
+    _best_latent,
+    _Observation,
+    estimate_all_consistencies,
+    estimate_consistency,
+)
+from repro.kb import KnowledgeBase
+
+
+class TestBestLatent:
+    def test_zero_zeta_prefers_lower_bound(self):
+        assert _best_latent(5, 5, 0, 1e-9) == 0
+
+    def test_huge_zeta_prefers_max(self):
+        assert _best_latent(5, 5, 0, 1e9) == 5
+
+    def test_respects_lower_bound(self):
+        assert _best_latent(5, 5, 3, 1e-9) == 3
+
+    def test_upper_bound_is_min(self):
+        assert _best_latent(2, 9, 0, 1e9) == 2
+
+
+class TestEstimateConsistency:
+    def test_fully_consistent_relationship(self):
+        obs = [_Observation(2, 2, 2) for _ in range(10)]
+        c = estimate_consistency(obs)
+        assert c.epsilon1 > 0.9
+        assert c.epsilon2 > 0.9
+
+    def test_fully_inconsistent_relationship(self):
+        obs = [_Observation(2, 2, 0) for _ in range(10)]
+        c = estimate_consistency(obs)
+        # With no observed matches the MLE can sit anywhere; the latent
+        # search starts at the observed lower bound, so epsilon stays low.
+        assert c.epsilon1 < 0.5
+
+    def test_asymmetric_value_sets(self):
+        # r1 single-valued and always matched; r2 multi-valued.
+        obs = [_Observation(1, 4, 1) for _ in range(10)]
+        c = estimate_consistency(obs)
+        assert c.epsilon1 > c.epsilon2
+
+    def test_empty_observations(self):
+        c = estimate_consistency([])
+        assert c == Consistency(0.5, 0.5, 0)
+
+    def test_epsilons_clamped(self):
+        obs = [_Observation(1, 1, 1) for _ in range(50)]
+        c = estimate_consistency(obs, epsilon_ceiling=0.95)
+        assert c.epsilon1 <= 0.95
+        assert c.epsilon2 <= 0.95
+
+    def test_gamma_positive(self):
+        assert Consistency(0.9, 0.9, 1).gamma() > 1.0
+        assert Consistency(0.1, 0.1, 1).gamma() < 1.0
+
+
+class TestEstimateAll:
+    @pytest.fixture()
+    def functional_kbs(self):
+        """wasBornIn is functional and perfectly consistent across KBs."""
+        kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+        matches = set()
+        for i in range(8):
+            kb1.add_relationship_triple(f"a{i}", "bornIn", f"ac{i}")
+            kb2.add_relationship_triple(f"b{i}", "birthPlace", f"bc{i}")
+            matches.add((f"a{i}", f"b{i}"))
+            matches.add((f"ac{i}", f"bc{i}"))
+        return kb1, kb2, matches
+
+    def test_functional_relationship_high_epsilon(self, functional_kbs):
+        kb1, kb2, matches = functional_kbs
+        result = estimate_all_consistencies(
+            kb1, kb2, {("bornIn", "birthPlace")}, matches
+        )
+        c = result[("bornIn", "birthPlace")]
+        assert c.epsilon1 > 0.9
+        assert c.epsilon2 > 0.9
+        assert c.support == 8
+
+    def test_unsupported_label_gets_default(self, functional_kbs):
+        kb1, kb2, matches = functional_kbs
+        result = estimate_all_consistencies(
+            kb1, kb2, {("nope", "nada")}, matches, epsilon_default=0.42
+        )
+        assert result[("nope", "nada")].epsilon1 == 0.42
+
+    def test_min_support_fallback(self, functional_kbs):
+        kb1, kb2, matches = functional_kbs
+        result = estimate_all_consistencies(
+            kb1, kb2, {("bornIn", "birthPlace")}, matches,
+            min_support=100, epsilon_default=0.5,
+        )
+        assert result[("bornIn", "birthPlace")].epsilon1 == 0.5
+
+    def test_inverse_labels_estimated(self, functional_kbs):
+        kb1, kb2, matches = functional_kbs
+        result = estimate_all_consistencies(
+            kb1, kb2, {("~bornIn", "~birthPlace")}, matches
+        )
+        c = result[("~bornIn", "~birthPlace")]
+        assert c.epsilon1 > 0.9
+
+    def test_partially_consistent(self):
+        """Half the matched pairs have matching values -> epsilon near 0.5."""
+        kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+        matches = set()
+        for i in range(10):
+            kb1.add_relationship_triple(f"a{i}", "r", f"ac{i}")
+            kb2.add_relationship_triple(f"b{i}", "s", f"bc{i}")
+            matches.add((f"a{i}", f"b{i}"))
+            if i < 5:
+                matches.add((f"ac{i}", f"bc{i}"))
+        result = estimate_all_consistencies(kb1, kb2, {("r", "s")}, matches)
+        c = result[("r", "s")]
+        assert 0.3 < c.epsilon1 < 0.8

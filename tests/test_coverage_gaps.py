@@ -1,0 +1,104 @@
+"""Focused tests for corners not covered by the per-module suites."""
+
+import pytest
+
+from repro.core import Remp, RempConfig
+from repro.core.config import RempConfig as Config
+from repro.core.consistency import Consistency
+from repro.core.propagation import _reduce_group, neighbor_marginals
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.kb import KnowledgeBase
+
+
+class TestGroupReduction:
+    def test_small_group_untouched(self):
+        pairs = [("a", "b"), ("c", "d")]
+        assert _reduce_group(pairs, {}, max_pairs=12, per_value=3) == pairs
+
+    def test_oversized_group_capped(self):
+        pairs = [(f"a{i}", f"b{j}") for i in range(6) for j in range(6)]
+        priors = {p: 0.5 for p in pairs}
+        reduced = _reduce_group(pairs, priors, max_pairs=10, per_value=2)
+        assert len(reduced) <= 10
+
+    def test_strong_pairs_survive_reduction(self):
+        pairs = [(f"a{i}", f"b{j}") for i in range(5) for j in range(5)]
+        priors = {p: (0.95 if p[0][1:] == p[1][1:] else 0.1) for p in pairs}
+        reduced = _reduce_group(pairs, priors, max_pairs=8, per_value=1)
+        diagonal = {(f"a{i}", f"b{i}") for i in range(5)}
+        assert diagonal <= set(reduced)
+
+    def test_empty_group(self):
+        assert neighbor_marginals(set(), {}, Consistency(0.9, 0.9, 1)) == {}
+
+
+class TestPipelineBookkeeping:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        bundle = load_dataset("iimb", seed=1, scale=0.3)
+        platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        result = Remp(RempConfig(mu=3)).run(bundle.kb1, bundle.kb2, platform)
+        return bundle, result
+
+    def test_history_loop_indices_sequential(self, run_result):
+        _, result = run_result
+        indices = [r.loop_index for r in result.history]
+        assert indices == sorted(indices)
+
+    def test_history_batches_respect_mu(self, run_result):
+        _, result = run_result
+        assert all(1 <= len(r.questions) <= 3 for r in result.history)
+
+    def test_history_label_counts_consistent(self, run_result):
+        _, result = run_result
+        for record in result.history:
+            total = (
+                record.labeled_matches
+                + record.labeled_non_matches
+                + record.unresolved_questions
+            )
+            assert total == len(record.questions)
+
+    def test_inferred_counter_monotone(self, run_result):
+        _, result = run_result
+        counts = [r.inferred_matches_so_far for r in result.history]
+        assert counts == sorted(counts)
+
+    def test_questions_never_repeat(self, run_result):
+        _, result = run_result
+        asked = [q for r in result.history for q in r.questions]
+        assert len(asked) == len(set(asked))
+
+
+class TestMultiLabelEntities:
+    def test_entity_with_two_labels_matches_either(self):
+        kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+        kb1.add_entity("a", label="First Alias")
+        kb1.add_attribute_triple("a", "rdfs:label", "Second Alias")
+        kb2.add_entity("b", label="Second Alias")
+        from repro.core.candidates import generate_candidates
+
+        result = generate_candidates(kb1, kb2, threshold=0.3)
+        assert ("a", "b") in result.pairs
+        # exact equality on *any* shared label makes it an initial match
+        assert ("a", "b") in result.initial_matches
+
+    def test_label_accessor_deterministic(self):
+        kb = KnowledgeBase("x")
+        kb.add_entity("a", label="Zeta")
+        kb.add_attribute_triple("a", "rdfs:label", "Alpha")
+        assert kb.label("a") == "Alpha"  # lexicographically smallest
+
+
+class TestConfigDefaultsMatchPaper:
+    def test_paper_parameters(self):
+        config = Config()
+        assert config.k == 4
+        assert config.tau == 0.9
+        assert config.mu == 10
+        assert config.label_similarity_threshold == 0.3
+        assert config.literal_threshold == 0.9
+        assert config.match_posterior == 0.8
+        assert config.non_match_posterior == 0.2
+        assert config.psi == 0.9

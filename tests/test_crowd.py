@@ -1,0 +1,91 @@
+"""Tests for the crowd simulation substrate."""
+
+import pytest
+
+from repro.crowd import CrowdPlatform, Oracle, SimulatedWorker
+
+
+class TestWorkers:
+    def test_oracle_always_truthful(self):
+        oracle = Oracle()
+        assert oracle.answer(("a", "b"), True) is True
+        assert oracle.answer(("a", "b"), False) is False
+        assert oracle.quality == 1.0
+
+    def test_simulated_worker_error_rate(self):
+        worker = SimulatedWorker("w", error_rate=0.2, seed=42)
+        n = 5000
+        wrong = sum(1 for _ in range(n) if worker.answer(("a", "b"), True) is False)
+        assert 0.17 < wrong / n < 0.23
+
+    def test_zero_error_worker_is_perfect(self):
+        worker = SimulatedWorker("w", error_rate=0.0, seed=1)
+        assert all(worker.answer(("a", "b"), True) for _ in range(100))
+
+    def test_quality_complements_error_rate(self):
+        assert SimulatedWorker("w", 0.15).quality == pytest.approx(0.85)
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedWorker("w", error_rate=1.0)
+        with pytest.raises(ValueError):
+            SimulatedWorker("w", error_rate=-0.1)
+
+
+class TestCrowdPlatform:
+    @pytest.fixture()
+    def platform(self):
+        truth = {("a1", "b1"), ("a2", "b2")}
+        return CrowdPlatform.with_simulated_workers(
+            truth, num_workers=20, error_rate=0.1, workers_per_question=5, seed=0
+        )
+
+    def test_ask_returns_redundant_labels(self, platform):
+        records = platform.ask(("a1", "b1"))
+        assert len(records) == 5
+        assert len({r.worker_id for r in records}) == 5
+
+    def test_billing_counts_distinct_questions(self, platform):
+        platform.ask(("a1", "b1"))
+        platform.ask(("a1", "b1"))  # cached, free
+        platform.ask(("a9", "b9"))
+        assert platform.questions_asked == 2
+        assert platform.labels_collected == 10
+
+    def test_label_reuse_is_stable(self, platform):
+        first = platform.ask(("a1", "b1"))
+        second = platform.ask(("a1", "b1"))
+        assert first is second
+
+    def test_majority_label_oracle(self):
+        platform = CrowdPlatform.with_oracle({("a", "b")})
+        assert platform.majority_label(("a", "b")) is True
+        assert platform.majority_label(("a", "x")) is False
+
+    def test_majority_label_mostly_correct_with_low_error(self, platform):
+        correct = sum(
+            1 for i in range(50) if platform.majority_label((f"a{i}", f"b{i}")) is (i in (1, 2))
+        )
+        assert correct >= 45
+
+    def test_reset_billing_keeps_cache(self, platform):
+        records = platform.ask(("a1", "b1"))
+        platform.reset_billing()
+        assert platform.questions_asked == 0
+        assert platform.ask(("a1", "b1")) is records
+        assert platform.questions_asked == 0  # cached question not re-billed
+
+    def test_redundancy_capped_by_pool(self):
+        platform = CrowdPlatform(
+            [Oracle("o1"), Oracle("o2")], truth=set(), workers_per_question=5
+        )
+        assert len(platform.ask(("x", "y"))) == 2
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            CrowdPlatform([], truth=set())
+
+    def test_batch_ask(self, platform):
+        result = platform.ask_batch([("a1", "b1"), ("a2", "b2")])
+        assert set(result) == {("a1", "b1"), ("a2", "b2")}
+        assert platform.questions_asked == 2

@@ -1,0 +1,119 @@
+"""Tests for ER graph construction (Definition 2)."""
+
+import pytest
+
+from repro.core.er_graph import build_er_graph, inverse_label, value_sets
+from repro.kb import KnowledgeBase
+
+
+@pytest.fixture()
+def movie_kbs():
+    """Two tiny movie KBs echoing Figure 1 of the paper."""
+    kb1 = KnowledgeBase("yago")
+    kb2 = KnowledgeBase("dbpedia")
+    kb1.add_entity("y:Tim", label="Tim Robbins")
+    kb1.add_entity("y:Cradle", label="Cradle Will Rock")
+    kb1.add_entity("y:Player", label="The Player")
+    kb1.add_relationship_triple("y:Tim", "directed", "y:Cradle")
+    kb1.add_relationship_triple("y:Tim", "directed", "y:Player")
+    kb2.add_entity("d:Tim", label="Tim Robbins")
+    kb2.add_entity("d:Cradle", label="Cradle Will Rock")
+    kb2.add_entity("d:Player", label="The Player")
+    kb2.add_relationship_triple("d:Tim", "directedBy", "d:Cradle")
+    kb2.add_relationship_triple("d:Tim", "directedBy", "d:Player")
+    return kb1, kb2
+
+
+@pytest.fixture()
+def vertices():
+    return {
+        ("y:Tim", "d:Tim"),
+        ("y:Cradle", "d:Cradle"),
+        ("y:Player", "d:Player"),
+        ("y:Cradle", "d:Player"),
+    }
+
+
+def test_forward_edges_from_relationship_pairs(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    groups = graph.neighbor_groups(("y:Tim", "d:Tim"))
+    assert ("directed", "directedBy") in groups
+    members = groups[("directed", "directedBy")]
+    assert ("y:Cradle", "d:Cradle") in members
+    assert ("y:Cradle", "d:Player") in members  # cross pair also a candidate
+    assert ("y:Player", "d:Player") in members
+
+
+def test_inverse_edges_allow_backward_propagation(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    groups = graph.neighbor_groups(("y:Cradle", "d:Cradle"))
+    assert ("~directed", "~directedBy") in groups
+    assert ("y:Tim", "d:Tim") in groups[("~directed", "~directedBy")]
+
+
+def test_no_edges_to_non_vertices(movie_kbs):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, {("y:Tim", "d:Tim")})
+    assert graph.neighbor_groups(("y:Tim", "d:Tim")) == {}
+
+
+def test_isolated_vertices(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    kb1.add_entity("y:Lonely", label="Lonely")
+    kb2.add_entity("d:Lonely", label="Lonely")
+    vertices = vertices | {("y:Lonely", "d:Lonely")}
+    graph = build_er_graph(kb1, kb2, vertices)
+    assert ("y:Lonely", "d:Lonely") in graph.isolated_vertices()
+    assert ("y:Tim", "d:Tim") not in graph.isolated_vertices()
+
+
+def test_connected_components(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    kb1.add_entity("y:Lonely")
+    kb2.add_entity("d:Lonely")
+    vertices = vertices | {("y:Lonely", "d:Lonely")}
+    graph = build_er_graph(kb1, kb2, vertices)
+    components = graph.connected_components()
+    sizes = sorted(len(c) for c in components)
+    assert sizes == [1, 4]
+
+
+def test_num_edges_counts_labels_separately(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    # forward edges: Tim->3 pairs; inverse edges: each movie pair -> Tim
+    assert graph.num_forward_edges() == 3
+    assert graph.num_edges > graph.num_forward_edges()
+
+
+def test_degree(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    assert graph.degree(("y:Tim", "d:Tim")) == 3
+    assert graph.degree(("y:Player", "d:Player")) == 1
+
+
+def test_iter_edges_consistent_with_groups(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    edges = list(graph.iter_edges())
+    assert len(edges) == graph.num_edges
+    for source, label, target in edges:
+        assert target in graph.neighbor_groups(source)[label]
+
+
+def test_inverse_label_roundtrip():
+    assert inverse_label(("a", "b")) == ("~a", "~b")
+    assert inverse_label(("~a", "~b")) == ("a", "b")
+
+
+def test_value_sets_directionality(movie_kbs):
+    kb1, kb2 = movie_kbs
+    n1, n2 = value_sets(kb1, kb2, "y:Tim", "d:Tim", ("directed", "directedBy"))
+    assert n1 == {"y:Cradle", "y:Player"}
+    assert n2 == {"d:Cradle", "d:Player"}
+    s1, s2 = value_sets(kb1, kb2, "y:Cradle", "d:Cradle", ("~directed", "~directedBy"))
+    assert s1 == {"y:Tim"}
+    assert s2 == {"d:Tim"}

@@ -1,0 +1,126 @@
+"""Failure-injection and degenerate-input tests for the pipeline."""
+
+import pytest
+
+from repro.core import Remp, RempConfig
+from repro.core.candidates import generate_candidates
+from repro.crowd import CrowdPlatform, SimulatedWorker
+from repro.datasets import load_dataset
+from repro.eval import evaluate_matches
+from repro.kb import KnowledgeBase
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("iimb", seed=0, scale=0.3)
+
+
+class TestDegenerateInputs:
+    def test_empty_kbs(self):
+        platform = CrowdPlatform.with_oracle(set())
+        result = Remp().run(KnowledgeBase("a"), KnowledgeBase("b"), platform)
+        assert result.matches == set()
+        assert result.questions_asked == 0
+
+    def test_unlabeled_kbs_yield_no_candidates(self):
+        kb1, kb2 = KnowledgeBase("a"), KnowledgeBase("b")
+        for i in range(5):
+            kb1.add_entity(f"a{i}")
+            kb2.add_entity(f"b{i}")
+        result = Remp().run(kb1, kb2, CrowdPlatform.with_oracle(set()))
+        assert result.matches == set()
+
+    def test_relation_free_kbs(self):
+        """Everything isolated: only the classifier path can fire."""
+        kb1, kb2 = KnowledgeBase("a"), KnowledgeBase("b")
+        gold = set()
+        for i in range(12):
+            kb1.add_entity(f"a{i}", label=f"thing number {i}")
+            kb2.add_entity(f"b{i}", label=f"thing number {i}")
+            gold.add((f"a{i}", f"b{i}"))
+        result = Remp().run(kb1, kb2, CrowdPlatform.with_oracle(gold))
+        assert result.num_loops == 0  # no propagation possible
+        # Whatever is found must be correct (oracle labels).
+        assert result.matches <= gold or evaluate_matches(result.matches, gold).precision > 0.8
+
+    def test_identical_kbs(self, bundle):
+        """A KB matched against itself: exact labels everywhere."""
+        kb = bundle.kb1
+        gold = {(e, e) for e in kb.entities if kb.label(e) is not None}
+        result = Remp().run(kb, kb, CrowdPlatform.with_oracle(gold))
+        quality = evaluate_matches(result.matches, gold)
+        assert quality.precision > 0.9
+
+    def test_zero_budget(self, bundle):
+        config = RempConfig(budget=0, isolated_seed_questions=0)
+        result = Remp(config).run(
+            bundle.kb1, bundle.kb2, CrowdPlatform.with_oracle(bundle.gold_matches)
+        )
+        assert result.questions_asked == 0
+        assert result.labeled_matches == set()
+
+    def test_mu_larger_than_candidates(self, bundle):
+        config = RempConfig(mu=10_000)
+        result = Remp(config).run(
+            bundle.kb1, bundle.kb2, CrowdPlatform.with_oracle(bundle.gold_matches)
+        )
+        assert result.num_loops >= 1
+
+    def test_tau_one_requires_certainty(self, bundle):
+        """τ=1 allows only probability-1 inferences: propagation shuts off."""
+        config = RempConfig(tau=1.0)
+        result = Remp(config).run(
+            bundle.kb1, bundle.kb2, CrowdPlatform.with_oracle(bundle.gold_matches)
+        )
+        # Nothing can be inferred through relations at certainty 1, and the
+        # oracle-labeled questions themselves are all correct.
+        assert result.inferred_matches == set()
+        assert result.labeled_matches <= bundle.gold_matches
+
+
+class TestHostileCrowds:
+    def test_near_random_workers_do_not_poison_precision(self, bundle):
+        platform = CrowdPlatform.with_simulated_workers(
+            bundle.gold_matches, num_workers=30, error_rate=0.45, seed=0
+        )
+        result = Remp().run(bundle.kb1, bundle.kb2, platform)
+        quality = evaluate_matches(result.matches, bundle.gold_matches)
+        # With near-random labels most questions stay unresolved; whatever
+        # is asserted as a match should still be mostly right thanks to the
+        # posterior thresholds.
+        if result.matches:
+            assert quality.precision > 0.5
+
+    def test_single_worker_pool(self, bundle):
+        platform = CrowdPlatform(
+            [SimulatedWorker("w0", 0.1, seed=3)], bundle.gold_matches,
+            workers_per_question=5,
+        )
+        result = Remp().run(bundle.kb1, bundle.kb2, platform)
+        assert isinstance(result.questions_asked, int)
+
+    def test_adversarial_label_reuse(self, bundle):
+        """Asking the same platform twice must not double-bill."""
+        platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        first = Remp().run(bundle.kb1, bundle.kb2, platform)
+        billed_after_first = platform.questions_asked
+        Remp().run(bundle.kb1, bundle.kb2, platform)
+        assert platform.questions_asked == billed_after_first  # all cached
+
+
+class TestCandidateEdgeCases:
+    def test_threshold_one_keeps_only_exact(self, bundle):
+        result = generate_candidates(bundle.kb1, bundle.kb2, threshold=1.0)
+        assert result.pairs >= result.initial_matches
+        for pair in result.pairs:
+            assert result.priors[pair] == 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RempConfig(tau=0.0)
+        with pytest.raises(ValueError):
+            RempConfig(k=0)
+        with pytest.raises(ValueError):
+            RempConfig(mu=0)
+        with pytest.raises(ValueError):
+            RempConfig(match_posterior=0.1, non_match_posterior=0.2)

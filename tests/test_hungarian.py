@@ -1,0 +1,82 @@
+"""Tests for the Hungarian algorithm, cross-validated against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment import hungarian_max, hungarian_min
+
+
+def _cost_of(matrix, pairs):
+    return sum(matrix[i][j] for i, j in pairs)
+
+
+class TestHungarianMin:
+    def test_identity_optimal(self):
+        cost = [[0, 9, 9], [9, 0, 9], [9, 9, 0]]
+        pairs = hungarian_min(cost)
+        assert sorted(pairs) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_known_instance(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        pairs = hungarian_min(cost)
+        assert _cost_of(cost, pairs) == 5  # (0,1),(1,0),(2,2)
+
+    def test_rectangular_wide(self):
+        cost = [[1, 0, 5, 5], [0, 9, 5, 5]]
+        pairs = hungarian_min(cost)
+        assert len(pairs) == 2
+        assert _cost_of(cost, pairs) == 0
+
+    def test_rectangular_tall(self):
+        cost = [[1, 0], [0, 9], [5, 5]]
+        pairs = hungarian_min(cost)
+        assert len(pairs) == 2
+        rows = [i for i, _ in pairs]
+        cols = [j for _, j in pairs]
+        assert len(set(rows)) == 2 and len(set(cols)) == 2
+        assert _cost_of(cost, pairs) == 0
+
+    def test_empty(self):
+        assert hungarian_min([]) == []
+        assert hungarian_min([[]]) == []
+
+    def test_non_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian_min([[1, 2], [3]])
+
+    def test_negative_costs(self):
+        cost = [[-5, 0], [0, -5]]
+        pairs = hungarian_min(cost)
+        assert _cost_of(cost, pairs) == -10
+
+
+class TestHungarianMax:
+    def test_profit_matrix(self):
+        profit = [[0.9, 0.1], [0.2, 0.8]]
+        pairs = hungarian_max(profit)
+        assert sorted(pairs) == [(0, 0), (1, 1)]
+
+    def test_empty(self):
+        assert hungarian_max([]) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 7),
+    m=st.integers(1, 7),
+    seed=st.integers(0, 10_000),
+)
+def test_matches_scipy_on_random_instances(n, m, seed):
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(-10, 10, size=(n, m))
+    ours = hungarian_min(cost.tolist())
+    rows, cols = linear_sum_assignment(cost)
+    expected = float(cost[rows, cols].sum())
+    actual = float(sum(cost[i, j] for i, j in ours))
+    assert actual == pytest.approx(expected, abs=1e-9)
+    # valid matching: distinct rows, distinct columns, covers min(n, m)
+    assert len({i for i, _ in ours}) == len(ours) == min(n, m)
+    assert len({j for _, j in ours}) == len(ours)

@@ -1,0 +1,86 @@
+"""Tests for the hybrid ER extension (propagation + partial order)."""
+
+import pytest
+
+from repro.core import Remp
+from repro.core.hybrid import HybridRemp, monotone_inferences
+from repro.core.truth import TruthInferenceResult
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.eval import evaluate_matches
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("iimb", seed=0, scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def state(bundle):
+    return HybridRemp().prepare(bundle.kb1, bundle.kb2)
+
+
+class TestMonotoneInferences:
+    def test_match_propagates_to_dominating_sibling(self, bundle, state):
+        loop_state = HybridRemp()._make_loop_state(state)
+        # find a pair with a strictly dominating sibling
+        for pair in sorted(state.retained):
+            vector = state.vector_index.vectors[pair]
+            for sibling in state.vector_index.by_left.get(pair[0], []):
+                sv = state.vector_index.vectors[sibling]
+                if sibling != pair and sv != vector and all(a >= b for a, b in zip(sv, vector)):
+                    truth = TruthInferenceResult(matches={pair})
+                    matches, _ = monotone_inferences(state, loop_state, truth)
+                    assert sibling in matches
+                    return
+        pytest.skip("no dominating sibling in this sample")
+
+    def test_non_match_propagates_downward(self, bundle, state):
+        loop_state = HybridRemp()._make_loop_state(state)
+        for pair in sorted(state.retained):
+            vector = state.vector_index.vectors[pair]
+            for sibling in state.vector_index.by_left.get(pair[0], []):
+                sv = state.vector_index.vectors[sibling]
+                if sibling != pair and sv != vector and all(a >= b for a, b in zip(vector, sv)):
+                    truth = TruthInferenceResult(non_matches={pair})
+                    _, non_matches = monotone_inferences(state, loop_state, truth)
+                    assert sibling in non_matches
+                    return
+        pytest.skip("no dominated sibling in this sample")
+
+    def test_resolved_pairs_excluded(self, state):
+        loop_state = HybridRemp()._make_loop_state(state)
+        some = sorted(state.retained)[0]
+        loop_state.resolve_match(some, labeled=True)
+        truth = TruthInferenceResult(matches={some})
+        matches, non_matches = monotone_inferences(state, loop_state, truth)
+        assert some not in matches
+        assert some not in non_matches
+
+
+class TestHybridRemp:
+    def test_quality_comparable_to_base(self, bundle, state):
+        base_platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        base = Remp().run(bundle.kb1, bundle.kb2, base_platform)
+        hybrid_platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        hybrid = HybridRemp().run(bundle.kb1, bundle.kb2, hybrid_platform, state=state)
+        base_f1 = evaluate_matches(base.matches, bundle.gold_matches).f1
+        hybrid_f1 = evaluate_matches(hybrid.matches, bundle.gold_matches).f1
+        assert hybrid_f1 > base_f1 - 0.1
+
+    def test_never_asks_more_questions(self, bundle, state):
+        """Extra inference can only reduce the unresolved set."""
+        base_platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        base = Remp().run(bundle.kb1, bundle.kb2, base_platform)
+        hybrid_platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+        hybrid = HybridRemp().run(bundle.kb1, bundle.kb2, hybrid_platform, state=state)
+        assert hybrid.questions_asked <= base.questions_asked + 5
+
+    def test_deterministic(self, bundle, state):
+        results = []
+        for _ in range(2):
+            platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+            results.append(
+                HybridRemp().run(bundle.kb1, bundle.kb2, platform, state=state).matches
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,92 @@
+"""Tests for the multi-item question interface."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd.interfaces import (
+    MultiItemCrowd,
+    MultiItemQuestion,
+    multi_item_cost,
+    pack_questions,
+    pairwise_cost,
+)
+
+
+class TestPacking:
+    def test_single_pair(self):
+        questions = pack_questions([("a", "b")], k=4)
+        assert len(questions) == 1
+        assert questions[0].covers(("a", "b"))
+
+    def test_all_pairs_covered(self):
+        pairs = [("a", "b"), ("b", "c"), ("c", "d"), ("x", "y")]
+        questions = pack_questions(pairs, k=4)
+        for pair in pairs:
+            assert any(q.covers(pair) for q in questions)
+
+    def test_respects_entity_limit(self):
+        pairs = [(f"a{i}", f"b{i}") for i in range(10)]
+        questions = pack_questions(pairs, k=4)
+        assert all(len(q.entities) <= 4 for q in questions)
+
+    def test_shared_entities_amortized(self):
+        # star: center c paired with 5 others -> 2 questions at k=4 vs 5 pairwise
+        pairs = [("c", f"o{i}") for i in range(5)]
+        assert multi_item_cost(pairs, k=4) < pairwise_cost(pairs)
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            pack_questions([("a", "b")], k=1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.sampled_from([f"a{i}" for i in range(6)]),
+                st.sampled_from([f"b{i}" for i in range(6)]),
+            ),
+            max_size=15,
+        ),
+        k=st.integers(2, 6),
+    )
+    def test_packing_invariants(self, pairs, k):
+        questions = pack_questions(pairs, k)
+        for question in questions:
+            assert len(question.entities) <= max(k, 2)
+        for pair in pairs:
+            assert any(q.covers(pair) for q in questions)
+
+
+class TestMultiItemCrowd:
+    def test_perfect_crowd_recovers_truth(self):
+        truth = {("a1", "a2"), ("b1", "b2")}
+        crowd = MultiItemCrowd(truth=truth, error_rate=0.0)
+        question = MultiItemQuestion(frozenset({"a1", "a2", "b1", "b2"}))
+        matched = crowd.matched_pairs(question)
+        assert ("a1", "a2") in matched
+        assert ("b1", "b2") in matched
+        assert ("a1", "b1") not in matched
+
+    def test_cost_counts_questions_not_pairs(self):
+        crowd = MultiItemCrowd(truth=set())
+        crowd.answer(MultiItemQuestion(frozenset({"a", "b", "c", "d"})))
+        assert crowd.questions_asked == 1
+
+    def test_noisy_crowd_errs_sometimes(self):
+        truth = {("a1", "a2")}
+        crowd = MultiItemCrowd(truth=truth, error_rate=0.4, seed=1)
+        question = MultiItemQuestion(frozenset({"a1", "a2"}))
+        outcomes = {frozenset(map(frozenset, crowd.answer(question))) for _ in range(50)}
+        assert len(outcomes) > 1  # both groupings observed
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(ValueError):
+            MultiItemCrowd(truth=set(), error_rate=1.0)
+
+    def test_partition_is_a_partition(self):
+        crowd = MultiItemCrowd(truth={("a", "b")}, error_rate=0.2, seed=3)
+        question = MultiItemQuestion(frozenset({"a", "b", "c"}))
+        groups = crowd.answer(question)
+        flat = [e for group in groups for e in group]
+        assert sorted(flat) == sorted(question.entities)

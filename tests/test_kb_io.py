@@ -1,0 +1,74 @@
+"""Round-trip tests for KB serialization."""
+
+import pytest
+
+from repro.kb import KnowledgeBase, load_kb_json, load_kb_tsv, save_kb_json, save_kb_tsv
+
+
+@pytest.fixture()
+def kb():
+    kb = KnowledgeBase("io-test")
+    kb.add_entity("p1", label="Joan Cusack")
+    kb.add_attribute_triple("p1", "born", 1962)
+    kb.add_entity("c1", label="Evanston")
+    kb.add_relationship_triple("p1", "wasBornIn", "c1")
+    kb.add_entity("lonely")
+    return kb
+
+
+def _same_shape(a: KnowledgeBase, b: KnowledgeBase) -> bool:
+    return (
+        a.entities == b.entities
+        and a.attributes == b.attributes
+        and a.relationships == b.relationships
+        and a.num_relationship_triples == b.num_relationship_triples
+    )
+
+
+def test_json_roundtrip(tmp_path, kb):
+    path = tmp_path / "kb.json"
+    save_kb_json(kb, path)
+    loaded = load_kb_json(path)
+    assert _same_shape(kb, loaded)
+    # JSON preserves literal types.
+    assert loaded.attribute_values("p1", "born") == {1962}
+    assert loaded.label("p1") == "Joan Cusack"
+
+
+def test_json_preserves_isolated_entities(tmp_path, kb):
+    path = tmp_path / "kb.json"
+    save_kb_json(kb, path)
+    loaded = load_kb_json(path)
+    assert "lonely" in loaded.entities
+
+
+def test_tsv_roundtrip_stringifies_literals(tmp_path, kb):
+    path = tmp_path / "kb.tsv"
+    save_kb_tsv(kb, path)
+    loaded = load_kb_tsv(path, name="io-test")
+    assert loaded.relation_values("p1", "wasBornIn") == {"c1"}
+    assert loaded.attribute_values("p1", "born") == {"1962"}
+
+
+def test_tsv_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("a\tb\tc\n")
+    with pytest.raises(ValueError, match="expected 4"):
+        load_kb_tsv(path)
+
+
+def test_tsv_rejects_unknown_kind(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("a\tb\tc\tX\n")
+    with pytest.raises(ValueError, match="unknown triple kind"):
+        load_kb_tsv(path)
+
+
+def test_empty_kb_roundtrips(tmp_path):
+    kb = KnowledgeBase("empty")
+    json_path = tmp_path / "kb.json"
+    tsv_path = tmp_path / "kb.tsv"
+    save_kb_json(kb, json_path)
+    save_kb_tsv(kb, tsv_path)
+    assert len(load_kb_json(json_path)) == 0
+    assert len(load_kb_tsv(tsv_path)) == 0

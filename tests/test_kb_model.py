@@ -1,0 +1,95 @@
+"""Unit tests for the KB data model."""
+
+import pytest
+
+from repro.kb import KnowledgeBase, Triple
+from repro.kb.model import LABEL_ATTRIBUTE, EntityPair
+
+
+@pytest.fixture()
+def kb():
+    kb = KnowledgeBase("test")
+    kb.add_entity("e1", label="Leonardo da Vinci")
+    kb.add_attribute_triple("e1", "birth_date", "1452-04-15")
+    kb.add_entity("m1", label="Mona Lisa")
+    kb.add_relationship_triple("e1", "works", "m1")
+    return kb
+
+
+def test_entities_registered(kb):
+    assert {"e1", "m1"} <= kb.entities
+    assert "e1" in kb
+    assert "missing" not in kb
+    assert len(kb) == 2
+
+
+def test_attribute_value_sets(kb):
+    assert kb.attribute_values("e1", "birth_date") == {"1452-04-15"}
+    assert kb.attribute_values("e1", "unknown") == set()
+    assert kb.attribute_values("ghost", "birth_date") == set()
+
+
+def test_relationship_value_sets(kb):
+    assert kb.relation_values("e1", "works") == {"m1"}
+    assert kb.relation_sources("m1", "works") == {"e1"}
+    assert kb.relation_values("m1", "works") == set()
+
+
+def test_labels(kb):
+    assert kb.label("e1") == "Leonardo da Vinci"
+    assert kb.labels("m1") == {"Mona Lisa"}
+    kb.add_entity("nolabel")
+    assert kb.label("nolabel") is None
+
+
+def test_label_is_attribute_triple(kb):
+    assert LABEL_ATTRIBUTE in kb.attributes
+    assert "Mona Lisa" in kb.attribute_values("m1", LABEL_ATTRIBUTE)
+
+
+def test_duplicate_triples_not_double_counted(kb):
+    before = kb.num_attribute_triples
+    kb.add_attribute_triple("e1", "birth_date", "1452-04-15")
+    assert kb.num_attribute_triples == before
+    before_rel = kb.num_relationship_triples
+    kb.add_relationship_triple("e1", "works", "m1")
+    assert kb.num_relationship_triples == before_rel
+
+
+def test_has_relations(kb):
+    assert kb.has_relations("e1")
+    assert kb.has_relations("m1")  # object position counts
+    kb.add_entity("isolated", label="Isolated")
+    assert not kb.has_relations("isolated")
+
+
+def test_iter_triples_roundtrip(kb):
+    triples = list(kb.iter_triples())
+    attr = [t for t in triples if not t.is_relation]
+    rel = [t for t in triples if t.is_relation]
+    assert len(attr) == kb.num_attribute_triples
+    assert len(rel) == kb.num_relationship_triples
+    rebuilt = KnowledgeBase("copy")
+    rebuilt.add_triples(triples)
+    assert rebuilt.entities == kb.entities
+    assert rebuilt.num_attribute_triples == kb.num_attribute_triples
+    assert rebuilt.num_relationship_triples == kb.num_relationship_triples
+
+
+def test_entity_attributes_and_relations_views(kb):
+    attrs = kb.entity_attributes("e1")
+    assert set(attrs) == {LABEL_ATTRIBUTE, "birth_date"}
+    rels = kb.entity_relations("e1")
+    assert set(rels) == {"works"}
+    inv = kb.entity_inverse_relations("m1")
+    assert set(inv) == {"works"}
+
+
+def test_triple_as_tuple():
+    t = Triple("s", "p", "o", is_relation=True)
+    assert t.as_tuple() == ("s", "p", "o")
+
+
+def test_entity_pair_prior_not_compared():
+    assert EntityPair("a", "b", prior=0.1) == EntityPair("a", "b", prior=0.9)
+    assert EntityPair("a", "b").as_tuple() == ("a", "b")

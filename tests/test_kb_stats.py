@@ -1,0 +1,30 @@
+"""Tests for KB summary statistics."""
+
+from repro.kb import KnowledgeBase, describe
+
+
+def test_describe_counts():
+    kb = KnowledgeBase("stats")
+    kb.add_entity("a", label="A")
+    kb.add_entity("b", label="B")
+    kb.add_entity("iso", label="Isolated")
+    kb.add_relationship_triple("a", "knows", "b")
+    stats = describe(kb)
+    assert stats.num_entities == 3
+    assert stats.num_relationships == 1
+    assert stats.num_relationship_triples == 1
+    assert stats.num_isolated_entities == 1
+    assert stats.num_attributes == 1  # rdfs:label
+    assert abs(stats.mean_out_degree - 1 / 3) < 1e-12
+
+
+def test_describe_empty_kb():
+    stats = describe(KnowledgeBase("empty"))
+    assert stats.num_entities == 0
+    assert stats.mean_out_degree == 0.0
+
+
+def test_as_row_contains_name():
+    kb = KnowledgeBase("rowtest")
+    kb.add_entity("x")
+    assert "rowtest" in describe(kb).as_row()

@@ -1,0 +1,68 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval import evaluate_matches, f1_score, pair_completeness, reduction_ratio
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score(1.0, 1.0) == 1.0
+
+    def test_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_harmonic_mean(self):
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_bounded_by_min_and_max(self, p, r):
+        f1 = f1_score(p, r)
+        assert f1 <= max(p, r) + 1e-12
+        assert 0.0 <= f1 <= 1.0
+
+
+class TestEvaluateMatches:
+    def test_perfect_match(self):
+        gold = {("a", "b"), ("c", "d")}
+        q = evaluate_matches(gold, gold)
+        assert q.precision == q.recall == q.f1 == 1.0
+
+    def test_partial(self):
+        predicted = {("a", "b"), ("x", "y")}
+        gold = {("a", "b"), ("c", "d")}
+        q = evaluate_matches(predicted, gold)
+        assert q.precision == 0.5
+        assert q.recall == 0.5
+        assert q.true_positives == 1
+
+    def test_empty_prediction(self):
+        q = evaluate_matches(set(), {("a", "b")})
+        assert q.precision == 0.0
+        assert q.recall == 0.0
+        assert q.f1 == 0.0
+
+    def test_empty_gold(self):
+        q = evaluate_matches({("a", "b")}, set())
+        assert q.recall == 0.0
+
+    def test_as_row_readable(self):
+        q = evaluate_matches({("a", "b")}, {("a", "b")})
+        row = q.as_row()
+        assert "P=" in row and "F1=" in row
+
+
+class TestBlockingMetrics:
+    def test_reduction_ratio(self):
+        assert reduction_ratio(100, 25) == 0.75
+        assert reduction_ratio(0, 0) == 0.0
+        assert reduction_ratio(10, 10) == 0.0
+
+    def test_pair_completeness(self):
+        gold = {("a", "b"), ("c", "d")}
+        assert pair_completeness({("a", "b")}, gold) == 0.5
+        assert pair_completeness(gold, gold) == 1.0
+        assert pair_completeness(set(), gold) == 0.0
+        assert pair_completeness({("a", "b")}, set()) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the decision tree and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+def _separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 4))
+    y = (X[:, 0] + X[:, 2] > 1.0).astype(float)
+    return X, y
+
+
+def _xor(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 2))
+    y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(float)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.98
+
+    def test_xor_needs_depth(self):
+        X, y = _xor()
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert (deep.predict(X) == y).mean() > (stump.predict(X) == y).mean()
+
+    def test_pure_leaf_on_constant_labels(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.ones(3)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+        assert np.all(tree.predict_proba(X) == 1.0)
+
+    def test_constant_features_yield_leaf(self):
+        X = np.zeros((10, 3))
+        y = np.array([0, 1] * 5, dtype=float)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+        assert np.all(tree.predict_proba(X) == 0.5)
+
+    def test_max_depth_respected(self):
+        X, y = _xor()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(3), np.zeros(3))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_probabilities_in_bounds(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+
+class TestRandomForest:
+    def test_fits_xor(self):
+        X, y = _xor()
+        forest = RandomForestClassifier(n_estimators=30, seed=7).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.95
+
+    def test_generalizes_on_separable(self):
+        X, y = _separable(400, seed=3)
+        X_test, y_test = _separable(200, seed=4)
+        forest = RandomForestClassifier(n_estimators=25, seed=0).fit(X, y)
+        assert (forest.predict(X_test) == y_test).mean() > 0.9
+
+    def test_deterministic_given_seed(self):
+        X, y = _xor(200)
+        p1 = RandomForestClassifier(n_estimators=10, seed=5).fit(X, y).predict_proba(X)
+        p2 = RandomForestClassifier(n_estimators=10, seed=5).fit(X, y).predict_proba(X)
+        assert np.array_equal(p1, p2)
+
+    def test_rejects_bad_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_is_fitted_flag(self):
+        forest = RandomForestClassifier(n_estimators=2)
+        assert not forest.is_fitted
+        X, y = _separable(50)
+        forest.fit(X, y)
+        assert forest.is_fitted
+
+    def test_probability_average_in_bounds(self):
+        X, y = _xor(150)
+        forest = RandomForestClassifier(n_estimators=15, seed=2).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))

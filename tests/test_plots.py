@@ -1,0 +1,37 @@
+"""Tests for the ASCII plot helper."""
+
+import pytest
+
+from repro.eval.plots import ascii_plot
+
+
+def test_basic_plot_contains_markers_and_legend():
+    chart = ascii_plot(
+        {"remp": [0.9, 0.95, 0.99], "maxpr": [0.5, 0.7, 0.8]},
+        x_labels=["1", "2", "4"],
+        title="demo",
+    )
+    assert "demo" in chart
+    assert "o=maxpr" in chart
+    assert "x=remp" in chart
+    assert "o" in chart and "x" in chart
+
+
+def test_constant_series_does_not_divide_by_zero():
+    chart = ascii_plot({"flat": [0.5, 0.5, 0.5]}, x_labels=["a", "b", "c"])
+    assert "flat" in chart
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [1.0, 2.0]}, x_labels=["a"])
+
+
+def test_empty_series():
+    assert ascii_plot({}, x_labels=[], title="t") == "t"
+
+
+def test_height_respected():
+    chart = ascii_plot({"s": [0.0, 1.0]}, x_labels=["a", "b"], height=5)
+    plot_rows = [line for line in chart.splitlines() if "|" in line]
+    assert len(plot_rows) == 5

@@ -1,0 +1,122 @@
+"""Tests for match propagation (Sections V-B, V-C)."""
+
+import pytest
+
+from repro.core.config import RempConfig
+from repro.core.consistency import Consistency
+from repro.core.er_graph import build_er_graph
+from repro.core.propagation import (
+    ProbabilisticERGraph,
+    build_probabilistic_graph,
+    neighbor_marginals,
+)
+from repro.kb import KnowledgeBase
+
+
+class TestNeighborMarginals:
+    def test_paper_example(self):
+        """Section V-B worked example: Tim directed Cradle and Player.
+
+        With ε₁ = ε₂ = 0.9 and uniform priors 0.5, the consistent pairs
+        (Cradle, Cradle) and (Player, Player) should get probability near
+        0.99 while the cross pair (Cradle, Player) drops near 0.01 — they
+        compete for the same values.
+        """
+        group = {("yC", "dC"), ("yP", "dP"), ("yC", "dP")}
+        priors = {("yC", "dC"): 0.5, ("yP", "dP"): 0.5, ("yC", "dP"): 0.5}
+        consistency = Consistency(0.9, 0.9, 10)
+        marginals = neighbor_marginals(group, priors, consistency)
+        assert marginals[("yC", "dC")] > 0.9
+        assert marginals[("yP", "dP")] > 0.9
+        assert marginals[("yC", "dP")] < 0.2
+
+    def test_single_functional_pair(self):
+        group = {("a", "b")}
+        marginals = neighbor_marginals(group, {("a", "b"): 0.5}, Consistency(0.95, 0.95, 5))
+        assert marginals[("a", "b")] > 0.9
+
+    def test_low_consistency_blocks_propagation(self):
+        group = {("a", "b")}
+        marginals = neighbor_marginals(group, {("a", "b"): 0.5}, Consistency(0.05, 0.05, 5))
+        assert marginals[("a", "b")] < 0.2
+
+    def test_prior_breaks_ties(self):
+        group = {("a", "b1"), ("a", "b2")}
+        priors = {("a", "b1"): 0.9, ("a", "b2"): 0.2}
+        marginals = neighbor_marginals(group, priors, Consistency(0.9, 0.9, 5))
+        assert marginals[("a", "b1")] > marginals[("a", "b2")]
+
+    def test_marginals_in_unit_interval(self):
+        group = {(f"a{i}", f"b{j}") for i in range(3) for j in range(3)}
+        priors = {p: 0.5 for p in group}
+        marginals = neighbor_marginals(group, priors, Consistency(0.8, 0.8, 5))
+        for value in marginals.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_one_to_one_competition(self):
+        """Two left values for one right value cannot both match."""
+        group = {("a1", "b"), ("a2", "b")}
+        priors = {("a1", "b"): 0.5, ("a2", "b"): 0.5}
+        marginals = neighbor_marginals(group, priors, Consistency(0.9, 0.9, 5))
+        assert marginals[("a1", "b")] + marginals[("a2", "b")] <= 1.0 + 1e-9
+
+    def test_oversized_group_reduced_not_crashed(self):
+        group = {(f"a{i}", f"b{j}") for i in range(8) for j in range(8)}
+        priors = {p: 0.4 for p in group}
+        config = RempConfig(max_exact_pairs=10, max_candidates_per_value=2)
+        marginals = neighbor_marginals(group, priors, Consistency(0.9, 0.9, 5), config)
+        assert len(marginals) == len(group)
+        assert all(0.0 <= v <= 1.0 for v in marginals.values())
+
+
+class TestProbabilisticGraph:
+    def test_set_edge_keeps_max(self):
+        graph = ProbabilisticERGraph()
+        graph.set_edge(("a", "b"), ("c", "d"), 0.5)
+        graph.set_edge(("a", "b"), ("c", "d"), 0.8)
+        graph.set_edge(("a", "b"), ("c", "d"), 0.3)
+        assert graph.probability(("a", "b"), ("c", "d")) == 0.8
+
+    def test_zero_probability_not_stored(self):
+        graph = ProbabilisticERGraph()
+        graph.set_edge(("a", "b"), ("c", "d"), 0.0)
+        assert graph.num_edges == 0
+
+    def test_self_probability_is_one(self):
+        graph = ProbabilisticERGraph()
+        assert graph.probability(("a", "b"), ("a", "b")) == 1.0
+
+    def test_missing_edge_zero(self):
+        graph = ProbabilisticERGraph()
+        assert graph.probability(("a", "b"), ("x", "y")) == 0.0
+
+
+class TestBuildProbabilisticGraph:
+    @pytest.fixture()
+    def setup(self):
+        kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+        kb1.add_relationship_triple("yTim", "directed", "yCradle")
+        kb2.add_relationship_triple("dTim", "directedBy", "dCradle")
+        vertices = {("yTim", "dTim"), ("yCradle", "dCradle")}
+        graph = build_er_graph(kb1, kb2, vertices)
+        priors = {v: 0.5 for v in vertices}
+        consistencies = {
+            ("directed", "directedBy"): Consistency(0.9, 0.9, 5),
+            ("~directed", "~directedBy"): Consistency(0.9, 0.9, 5),
+        }
+        return kb1, kb2, graph, priors, consistencies
+
+    def test_edges_both_directions(self, setup):
+        kb1, kb2, graph, priors, consistencies = setup
+        prob = build_probabilistic_graph(graph, kb1, kb2, priors, consistencies)
+        forward = prob.probability(("yTim", "dTim"), ("yCradle", "dCradle"))
+        backward = prob.probability(("yCradle", "dCradle"), ("yTim", "dTim"))
+        assert forward > 0.8
+        assert backward > 0.8
+
+    def test_default_consistency_used_for_unknown_labels(self, setup):
+        kb1, kb2, graph, priors, _ = setup
+        prob = build_probabilistic_graph(graph, kb1, kb2, priors, {})
+        # neutral epsilon 0.5 -> gamma 1 -> marginal equals normalized prior
+        forward = prob.probability(("yTim", "dTim"), ("yCradle", "dCradle"))
+        assert 0.2 < forward < 0.8

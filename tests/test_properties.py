@@ -1,0 +1,111 @@
+"""Cross-module property-based tests on randomized worlds.
+
+These complement the per-module hypothesis tests with end-to-end
+invariants: whatever the world looks like, the pipeline must respect its
+precision restriction under an oracle, billing must match the platform,
+and the core data structures must stay internally consistent.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Remp, RempConfig
+from repro.crowd import CrowdPlatform
+from repro.datasets.synthesis import (
+    AttributeSpec,
+    NoiseConfig,
+    RelationSpec,
+    TypeSpec,
+    WorldConfig,
+    generate_dataset,
+)
+from repro.eval import evaluate_matches
+
+
+def _world(seed: int, homonyms: float, noise_level: float) -> WorldConfig:
+    noise = NoiseConfig(
+        label_typo_prob=noise_level,
+        label_token_drop_prob=noise_level / 2,
+        value_noise_prob=noise_level,
+        value_break_prob=0.2,
+        edge_drop_prob=noise_level / 2,
+    )
+    return WorldConfig(
+        name=f"prop{seed}",
+        types=(
+            TypeSpec(
+                "a",
+                24,
+                attributes=(AttributeSpec("x", kind="year"),),
+                relations=(RelationSpec("r", "b", mean_degree=1.5),),
+            ),
+            TypeSpec("b", 18, attributes=(AttributeSpec("y", tokens=2),)),
+            TypeSpec("c", 14),  # isolated type
+        ),
+        noise2=noise,
+        homonym_fraction=homonyms,
+        vocabulary_size=90,
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    homonyms=st.sampled_from([0.0, 0.1]),
+    noise_level=st.sampled_from([0.05, 0.2]),
+)
+def test_oracle_run_invariants(seed, homonyms, noise_level):
+    bundle = generate_dataset(_world(seed, homonyms, noise_level), seed=seed)
+    platform = CrowdPlatform.with_oracle(bundle.gold_matches)
+    remp = Remp(RempConfig(mu=5))
+    state = remp.prepare(bundle.kb1, bundle.kb2)
+    result = remp.run(bundle.kb1, bundle.kb2, platform, state=state)
+
+    # Billing consistency.
+    assert result.questions_asked == platform.questions_asked
+    # Output partition consistency.
+    assert result.matches == (
+        result.labeled_matches | result.inferred_matches | result.isolated_matches
+    )
+    assert not result.matches & result.non_matches
+    # Every output pair exists in both KBs.
+    for e1, e2 in result.matches:
+        assert e1 in bundle.kb1
+        assert e2 in bundle.kb2
+    # Oracle labels are never wrong, so labeled matches are all gold.
+    assert result.labeled_matches <= bundle.gold_matches
+    # The precision restriction (Definition 1) under clean labels.
+    if len(result.matches) >= 10:
+        assert evaluate_matches(result.matches, bundle.gold_matches).precision > 0.6
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 300))
+def test_prepare_artifacts_internally_consistent(seed):
+    bundle = generate_dataset(_world(seed, 0.05, 0.1), seed=seed)
+    state = Remp().prepare(bundle.kb1, bundle.kb2)
+    # Vector index covers exactly the candidates; retained is a subset.
+    assert set(state.vector_index.vectors) == state.candidates.pairs
+    assert state.retained <= state.candidates.pairs
+    # Graph vertices and signature keys are exactly the retained pairs.
+    assert state.graph.vertices == state.retained
+    assert set(state.signatures) == state.retained
+    # Priors come from label similarity and stay in (0, 1].
+    for pair, prior in state.priors.items():
+        assert 0.0 < prior <= 1.0
+    # All vectors share one length: len(attribute_matches) + 1 (the prior).
+    lengths = {len(v) for v in state.vector_index.vectors.values()}
+    assert lengths == {len(state.attribute_matches) + 1}
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 300), error_rate=st.sampled_from([0.1, 0.3]))
+def test_noisy_crowd_never_crashes_and_bills_once(seed, error_rate):
+    bundle = generate_dataset(_world(seed, 0.1, 0.15), seed=seed)
+    platform = CrowdPlatform.with_simulated_workers(
+        bundle.gold_matches, num_workers=15, error_rate=error_rate, seed=seed
+    )
+    result = Remp().run(bundle.kb1, bundle.kb2, platform)
+    assert result.questions_asked == platform.questions_asked
+    assert platform.labels_collected == platform.questions_asked * min(5, 15)

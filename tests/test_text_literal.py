@@ -1,0 +1,52 @@
+"""Tests for the extended literal-set similarity simL."""
+
+import pytest
+
+from repro.text import literal_set_similarity, literal_similarity
+
+
+class TestLiteralSimilarity:
+    def test_equal_strings(self):
+        assert literal_similarity("Mona Lisa", "mona lisa") == 1.0
+
+    def test_numbers_percentage(self):
+        assert literal_similarity(100, 95) == pytest.approx(0.95)
+
+    def test_numeric_strings_parsed(self):
+        assert literal_similarity("100", "95") == pytest.approx(0.95)
+
+    def test_number_vs_text_is_zero(self):
+        assert literal_similarity(100, "one hundred") == 0.0
+
+    def test_bools_treated_as_text(self):
+        # bool is not coerced to a number; compares as tokens.
+        assert literal_similarity(True, "true") == 1.0
+
+
+class TestLiteralSetSimilarity:
+    def test_identical_sets(self):
+        assert literal_set_similarity({"a b"}, {"a b"}) == 1.0
+
+    def test_empty_sets_yield_zero(self):
+        assert literal_set_similarity(set(), set()) == 0.0
+        assert literal_set_similarity({"x"}, set()) == 0.0
+
+    def test_partial_overlap(self):
+        # one matched literal out of 1+2-1 = 2 union slots
+        sim = literal_set_similarity({"alpha"}, {"alpha", "beta"})
+        assert sim == pytest.approx(0.5)
+
+    def test_threshold_blocks_weak_matches(self):
+        # 'alpha beta' vs 'alpha' has Jaccard 0.5 < default threshold 0.9
+        assert literal_set_similarity({"alpha beta"}, {"alpha"}) == 0.0
+        assert literal_set_similarity({"alpha beta"}, {"alpha"}, threshold=0.4) == 1.0
+
+    def test_each_literal_matched_once(self):
+        # two copies on one side cannot both match a single counterpart
+        sim = literal_set_similarity({"x y", "x y z"}, {"x y"}, threshold=0.5)
+        # one matched, union = 2 + 1 - 1 = 2
+        assert sim == pytest.approx(0.5)
+
+    def test_numeric_sets(self):
+        assert literal_set_similarity({1000}, {999}, threshold=0.9) == 1.0
+        assert literal_set_similarity({1000}, {1}, threshold=0.9) == 0.0

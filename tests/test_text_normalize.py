@@ -1,0 +1,61 @@
+"""Tests for label normalization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import normalize_label, stem, tokenize
+
+
+def test_tokenize_lowercases_and_splits():
+    assert tokenize("The Cradle Will Rock (1999)") == ["the", "cradle", "will", "rock", "1999"]
+
+
+def test_tokenize_empty():
+    assert tokenize("") == []
+    assert tokenize("!!!") == []
+
+
+def test_stem_common_suffixes():
+    assert stem("directed") == "direct"
+    assert stem("acting") == "act"
+    assert stem("players") == "player"
+
+
+def test_stem_plural_and_singular_agree():
+    assert stem("movies") == stem("movie") == "movi"
+    assert stem("directed") == stem("directing") == "direct"
+
+
+def test_stem_short_tokens_untouched():
+    assert stem("is") == "is"
+    assert stem("ed") == "ed"
+    assert stem("a") == "a"
+
+
+def test_normalize_label_is_frozenset():
+    result = normalize_label("New York City")
+    assert isinstance(result, frozenset)
+    assert "new" in result and "york" in result
+
+
+def test_normalize_label_without_stemming():
+    with_stem = normalize_label("running shoes", stemming=True)
+    without = normalize_label("running shoes", stemming=False)
+    assert "running" in without
+    assert "running" not in with_stem
+
+
+@given(st.text(max_size=60))
+def test_normalize_never_raises_and_is_idempotent_tokens(text):
+    tokens = normalize_label(text)
+    # every token survives re-normalization unchanged up to stemming fixpoint absence
+    for token in tokens:
+        assert token == token.lower()
+        assert token.isalnum()
+
+
+@given(st.text(max_size=60))
+def test_tokenize_only_alnum(text):
+    for token in tokenize(text):
+        assert token.isalnum()
+        assert token == token.lower()

@@ -1,0 +1,109 @@
+"""Tests for string and numeric similarity measures."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import (
+    cosine_tokens,
+    dice,
+    edit_similarity,
+    jaccard,
+    levenshtein,
+    numeric_similarity,
+    token_jaccard,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_empty_vs_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaccard(set(), {"a"}) == 0.0
+
+    @given(st.sets(st.integers(), max_size=8), st.sets(st.integers(), max_size=8))
+    def test_symmetry_and_bounds(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+
+class TestDiceCosine:
+    def test_dice_partial(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_cosine_partial(self):
+        assert cosine_tokens({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_cosine_empty_one_side(self):
+        assert cosine_tokens(set(), {"a"}) == 0.0
+
+    @given(st.sets(st.integers(), max_size=8), st.sets(st.integers(), max_size=8))
+    def test_dice_dominates_jaccard(self, a, b):
+        # Dice >= Jaccard always holds.
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_edit_similarity_bounds(self):
+        assert edit_similarity("", "") == 1.0
+        assert edit_similarity("abc", "abc") == 1.0
+        assert edit_similarity("abc", "xyz") == 0.0
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_symmetry(self, s, t):
+        assert levenshtein(s, t) == levenshtein(t, s)
+
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNumericSimilarity:
+    def test_identical(self):
+        assert numeric_similarity(5.0, 5.0) == 1.0
+        assert numeric_similarity(0.0, 0.0) == 1.0
+
+    def test_percentage_difference(self):
+        assert numeric_similarity(100.0, 90.0) == pytest.approx(0.9)
+
+    def test_clamped_at_zero(self):
+        assert numeric_similarity(1.0, -100.0) == 0.0
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_bounds_and_symmetry(self, x, y):
+        s = numeric_similarity(x, y)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(numeric_similarity(y, x))
+
+
+class TestTokenJaccard:
+    def test_same_label_different_case(self):
+        assert token_jaccard("New York City", "new york city") == 1.0
+
+    def test_stemming_helps(self):
+        assert token_jaccard("directed movies", "directing movie") == 1.0
+
+    def test_disjoint_labels(self):
+        assert token_jaccard("alpha beta", "gamma delta") == 0.0

@@ -1,0 +1,99 @@
+"""Tests for error-tolerant truth inference (Section VII-A, Eq. 17)."""
+
+import pytest
+
+from repro.core.truth import infer_truths, posterior_match_probability
+from repro.crowd.platform import LabelRecord
+
+
+def _records(question, labels, quality=0.9):
+    return [
+        LabelRecord(question, f"w{i}", label, quality) for i, label in enumerate(labels)
+    ]
+
+
+class TestPosterior:
+    def test_unanimous_yes_raises_probability(self):
+        q = ("a", "b")
+        post = posterior_match_probability(0.5, _records(q, [True] * 5))
+        assert post > 0.99
+
+    def test_unanimous_no_lowers_probability(self):
+        q = ("a", "b")
+        post = posterior_match_probability(0.5, _records(q, [False] * 5))
+        assert post < 0.01
+
+    def test_split_labels_stay_near_prior(self):
+        q = ("a", "b")
+        post = posterior_match_probability(0.5, _records(q, [True, True, False, False]))
+        assert post == pytest.approx(0.5)
+
+    def test_majority_shifts(self):
+        q = ("a", "b")
+        post = posterior_match_probability(0.5, _records(q, [True, True, True, False, False]))
+        assert 0.5 < post < 1.0
+
+    def test_prior_matters(self):
+        q = ("a", "b")
+        one_yes = _records(q, [True])
+        low = posterior_match_probability(0.1, one_yes)
+        high = posterior_match_probability(0.9, one_yes)
+        assert low < high
+
+    def test_low_quality_workers_are_weak_evidence(self):
+        q = ("a", "b")
+        strong = posterior_match_probability(0.5, _records(q, [True] * 3, quality=0.95))
+        weak = posterior_match_probability(0.5, _records(q, [True] * 3, quality=0.55))
+        assert strong > weak
+
+    def test_quality_clamped(self):
+        q = ("a", "b")
+        post = posterior_match_probability(0.5, _records(q, [True], quality=1.0))
+        assert post < 1.0  # a single perfect worker is not absolute truth
+
+    def test_degenerate_priors_overridable(self):
+        """Unanimous worker evidence overrides even a 0/1 prior (homonyms
+        carry prior 1.0 yet may be non-matches)."""
+        q = ("a", "b")
+        assert posterior_match_probability(0.0, _records(q, [True] * 9)) > 0.8
+        assert posterior_match_probability(1.0, _records(q, [False] * 9)) < 0.2
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            posterior_match_probability(1.5, [])
+
+    def test_no_records_returns_prior(self):
+        assert posterior_match_probability(0.37, []) == pytest.approx(0.37)
+
+
+class TestInferTruths:
+    def test_classification_buckets(self):
+        answers = {
+            ("m", "m"): _records(("m", "m"), [True] * 5),
+            ("n", "n"): _records(("n", "n"), [False] * 5),
+            ("h", "h"): _records(("h", "h"), [True, True, False, False]),
+        }
+        priors = {("m", "m"): 0.5, ("n", "n"): 0.5, ("h", "h"): 0.5}
+        result = infer_truths(answers, priors)
+        assert ("m", "m") in result.matches
+        assert ("n", "n") in result.non_matches
+        assert ("h", "h") in result.unresolved
+
+    def test_hard_question_prior_updated_to_posterior(self):
+        q = ("h", "h")
+        answers = {q: _records(q, [True, True, False, False])}
+        result = infer_truths(answers, {q: 0.6})
+        assert result.unresolved[q] == pytest.approx(0.6)
+        assert result.posteriors[q] == result.unresolved[q]
+
+    def test_missing_prior_uses_default(self):
+        q = ("x", "y")
+        answers = {q: _records(q, [True] * 5)}
+        result = infer_truths(answers, {}, default_prior=0.5)
+        assert q in result.matches
+
+    def test_custom_thresholds(self):
+        q = ("a", "b")
+        answers = {q: _records(q, [True, True, True, False, False])}
+        strict = infer_truths(answers, {q: 0.5}, match_threshold=0.999)
+        assert q in strict.unresolved

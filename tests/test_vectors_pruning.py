@@ -1,0 +1,150 @@
+"""Tests for similarity vectors, the partial order and Algorithm 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import AttributeMatch
+from repro.core.pruning import partial_order_pruning, pruning_error_rate
+from repro.core.vectors import (
+    VectorIndex,
+    build_similarity_vectors,
+    dominates,
+    strictly_dominates,
+)
+from repro.kb import KnowledgeBase
+
+
+class TestPartialOrder:
+    def test_dominates_reflexive(self):
+        assert dominates((0.5, 0.5), (0.5, 0.5))
+
+    def test_strict_dominance(self):
+        assert strictly_dominates((0.9, 0.5), (0.5, 0.5))
+        assert not strictly_dominates((0.5, 0.5), (0.5, 0.5))
+
+    def test_incomparable_vectors(self):
+        assert not dominates((0.9, 0.1), (0.1, 0.9))
+        assert not dominates((0.1, 0.9), (0.9, 0.1))
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+    )
+    def test_transitivity(self, a, b, c):
+        a, b, c = tuple(a), tuple(b), tuple(c)
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+
+class TestBuildVectors:
+    def test_vector_components_follow_attribute_matches(self):
+        kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+        kb1.add_entity("a")
+        kb2.add_entity("b")
+        kb1.add_attribute_triple("a", "p", "same words")
+        kb2.add_attribute_triple("b", "q", "same words")
+        kb1.add_attribute_triple("a", "r", "alpha")
+        kb2.add_attribute_triple("b", "s", "omega")
+        matches = [AttributeMatch("p", "q", 1.0), AttributeMatch("r", "s", 0.5)]
+        vectors = build_similarity_vectors(kb1, kb2, {("a", "b")}, matches)
+        assert vectors[("a", "b")] == (1.0, 0.0)
+
+    def test_missing_attribute_yields_zero_component(self):
+        kb1, kb2 = KnowledgeBase("x"), KnowledgeBase("y")
+        kb1.add_entity("a")
+        kb2.add_entity("b")
+        matches = [AttributeMatch("p", "q", 1.0)]
+        vectors = build_similarity_vectors(kb1, kb2, {("a", "b")}, matches)
+        assert vectors[("a", "b")] == (0.0,)
+
+
+def _index(vectors):
+    return VectorIndex(dict(vectors))
+
+
+class TestMinRank:
+    def test_dominant_pair_has_rank_zero(self):
+        index = _index({("u", "v1"): (0.9, 0.9), ("u", "v2"): (0.1, 0.1)})
+        assert index.min_rank(("u", "v1")) == 0
+        assert index.min_rank(("u", "v2")) == 1
+
+    def test_incomparable_pairs_all_rank_zero(self):
+        index = _index({("u", "v1"): (0.9, 0.1), ("u", "v2"): (0.1, 0.9)})
+        assert index.min_rank(("u", "v1")) == 0
+        assert index.min_rank(("u", "v2")) == 0
+
+    def test_two_sided_rank_takes_max(self):
+        index = _index(
+            {
+                ("u1", "v"): (0.5,),
+                ("u2", "v"): (0.9,),
+                ("u1", "w"): (0.4,),
+            }
+        )
+        # ("u1","v") dominated by ("u2","v") on the right side
+        assert index.min_rank(("u1", "v")) == 1
+
+
+class TestPruning:
+    def test_keeps_small_blocks(self):
+        index = _index({("u", f"v{i}"): (float(i) / 10,) for i in range(3)})
+        retained = partial_order_pruning(set(index.vectors), index, k=4)
+        assert retained == set(index.vectors)
+
+    def test_prunes_dominated_beyond_k(self):
+        vectors = {("u", f"v{i}"): (float(i),) for i in range(10)}
+        index = _index(vectors)
+        retained = partial_order_pruning(set(vectors), index, k=4)
+        # top-4 by the single component: v6..v9
+        assert retained == {("u", f"v{i}") for i in range(6, 10)}
+
+    def test_incomparable_block_survives(self):
+        # Pairwise incomparable vectors: nothing can be pruned.
+        vectors = {("u", f"v{i}"): tuple(1.0 if j == i else 0.0 for j in range(6)) for i in range(6)}
+        index = _index(vectors)
+        retained = partial_order_pruning(set(vectors), index, k=2)
+        assert retained == set(vectors)
+
+    def test_prunes_both_sides(self):
+        vectors = {(f"u{i}", "v"): (float(i),) for i in range(8)}
+        index = _index(vectors)
+        retained = partial_order_pruning(set(vectors), index, k=3)
+        assert retained == {(f"u{i}", "v") for i in range(5, 8)}
+
+    def test_k_must_be_positive(self):
+        index = _index({})
+        with pytest.raises(ValueError):
+            partial_order_pruning(set(), index, k=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.floats(0, 1), min_size=1, max_size=12),
+        k=st.integers(1, 5),
+    )
+    def test_retained_pairs_have_min_rank_below_k(self, values, k):
+        vectors = {("u", f"v{i}"): (val,) for i, val in enumerate(values)}
+        index = _index(vectors)
+        retained = partial_order_pruning(set(vectors), index, k=k)
+        for pair in retained:
+            assert index.min_rank(pair) < k
+        # every pruned pair is genuinely out of the top-k
+        for pair in set(vectors) - retained:
+            assert index.min_rank(pair) >= k
+
+
+class TestPruningErrorRate:
+    def test_consistent_partial_order_zero_error(self):
+        index = _index({("u", "v1"): (0.9,), ("u", "v2"): (0.1,)})
+        gold = {("u", "v1")}
+        assert pruning_error_rate(set(index.vectors), index, gold) == 0.0
+
+    def test_inverted_order_flags_error(self):
+        index = _index({("u", "v1"): (0.1,), ("u", "v2"): (0.9,)})
+        gold = {("u", "v1")}  # the true match is dominated by a non-match
+        assert pruning_error_rate(set(index.vectors), index, gold) == pytest.approx(0.5)
+
+    def test_empty_retained(self):
+        index = _index({})
+        assert pruning_error_rate(set(), index, set()) == 0.0
