@@ -9,6 +9,12 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.datasets` — the synthetic evaluation datasets
 * :mod:`repro.baselines` — HIKE, POWER, Corleone, PARIS, SiGMa
 * :mod:`repro.experiments` — one driver per paper table/figure
+* :mod:`repro.store` — SQLite-backed persistence: a prepared-state cache
+  keyed by ``(dataset, seed, scale, config-hash)``, per-run loop
+  checkpoints for kill-and-resume, and a queryable ledger of every run
+* :mod:`repro.service` — the concurrent matching service: deduplicated
+  ``prepare()`` through the cache and thread-pooled sessions with an
+  explicit ``submit / step / status / result`` lifecycle
 """
 
 from repro.core import Remp, RempConfig
@@ -16,14 +22,18 @@ from repro.crowd import CrowdPlatform
 from repro.datasets import load_dataset
 from repro.eval import evaluate_matches
 from repro.kb import KnowledgeBase
+from repro.service import MatchingService
+from repro.store import RunStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Remp",
     "RempConfig",
     "CrowdPlatform",
     "KnowledgeBase",
+    "RunStore",
+    "MatchingService",
     "load_dataset",
     "evaluate_matches",
     "__version__",

@@ -6,6 +6,15 @@ Commands
     Print Table II-style statistics for the four synthetic profiles.
 ``run``
     Run the Remp pipeline on one dataset and report quality and cost.
+    With ``--store`` the run is resumable: offline work comes from the
+    prepared-state cache, every loop checkpoints, and ``--resume RUN_ID``
+    continues an interrupted run without re-asking questions.
+``serve-batch``
+    Run several datasets concurrently through the matching service.
+``runs``
+    Query the run ledger (``runs list`` / ``runs show RUN_ID``).
+``cache``
+    Inspect or clear the prepared-state cache (``cache info`` / ``clear``).
 ``experiment``
     Regenerate one paper artifact (``table3`` … ``figure6``).
 ``export``
@@ -16,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -24,6 +34,15 @@ from repro.crowd import CrowdPlatform
 from repro.datasets import DATASET_NAMES, load_dataset
 from repro.eval import evaluate_matches
 from repro.kb import describe, save_kb_json
+from repro.service import MatchingService
+from repro.store import RunStore
+
+#: Default store location; overridable per-command or via REPRO_STORE.
+DEFAULT_STORE = ".repro/store.db"
+
+
+def _store_path(args: argparse.Namespace) -> str:
+    return args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -36,8 +55,33 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    if args.dataset is None and args.resume is None:
+        print("run: a dataset is required unless --resume is given", file=sys.stderr)
+        return 2
+    if args.resume:
+        # A resumed run continues under its stored configuration; flags
+        # that would silently be ignored are rejected instead.
+        conflicting = [
+            name
+            for name, given in (
+                ("dataset", args.dataset is not None),
+                ("--mu", args.mu != 10),
+                ("--tau", args.tau != 0.9),
+                ("--budget", args.budget is not None),
+            )
+            if given
+        ]
+        if conflicting:
+            print(
+                f"run: {', '.join(conflicting)} cannot be combined with --resume; "
+                "the stored run's dataset and config are used",
+                file=sys.stderr,
+            )
+            return 2
     config = RempConfig(mu=args.mu, tau=args.tau, budget=args.budget)
+    if args.store or args.resume or os.environ.get("REPRO_STORE"):
+        return _run_via_service(args, config)
+    bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     if args.error_rate > 0:
         platform = CrowdPlatform.with_simulated_workers(
             bundle.gold_matches, error_rate=args.error_rate, seed=args.seed
@@ -45,13 +89,137 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         platform = CrowdPlatform.with_oracle(bundle.gold_matches)
     result = Remp(config).run(bundle.kb1, bundle.kb2, platform)
-    quality = evaluate_matches(result.matches, bundle.gold_matches)
+    _print_run_summary(result, bundle.gold_matches)
+    return 0
+
+
+def _print_run_summary(result, gold_matches, run_id: str | None = None) -> None:
+    quality = evaluate_matches(result.matches, gold_matches)
     print(quality.as_row())
-    print(
+    line = (
         f"questions={result.questions_asked} loops={result.num_loops} "
         f"labeled={len(result.labeled_matches)} inferred={len(result.inferred_matches)} "
         f"isolated={len(result.isolated_matches)}"
     )
+    if run_id is not None:
+        line = f"run={run_id} " + line
+    print(line)
+
+
+def _run_via_service(args: argparse.Namespace, config: RempConfig) -> int:
+    """Durable variant of ``run``: cached prepare, checkpoints, resume."""
+    with MatchingService(_store_path(args), max_workers=1) as service:
+        if args.resume:
+            try:
+                run_id = service.resume(args.resume, background=False)
+            except (KeyError, ValueError) as exc:
+                message = exc.args[0] if exc.args else str(exc)
+                print(f"run: cannot resume: {message}", file=sys.stderr)
+                return 1
+            record = service.store.get_run(run_id)
+            dataset, seed, scale = record.dataset, record.seed, record.scale
+        else:
+            run_id = service.submit(
+                args.dataset,
+                seed=args.seed,
+                scale=args.scale,
+                config=config,
+                error_rate=args.error_rate,
+                background=False,
+            )
+            dataset, seed, scale = args.dataset, args.seed, args.scale
+        result = service.result(run_id)
+        bundle = load_dataset(dataset, seed=seed, scale=scale)
+        _print_run_summary(result, bundle.gold_matches, run_id=run_id)
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    with MatchingService(
+        _store_path(args), max_workers=args.workers, error_rate=args.error_rate
+    ) as service:
+        run_ids = [
+            service.submit(
+                dataset, seed=args.seed, scale=args.scale, strategy=args.strategy
+            )
+            for dataset in args.datasets
+        ]
+        for dataset, run_id in zip(args.datasets, run_ids):
+            result = service.result(run_id)
+            bundle = load_dataset(dataset, seed=args.seed, scale=args.scale)
+            quality = evaluate_matches(result.matches, bundle.gold_matches)
+            print(
+                f"{run_id}  {dataset:<14} {quality.as_row()} "
+                f"questions={result.questions_asked} loops={result.num_loops}"
+            )
+        print(
+            f"prepared-state cache: {service.cache_hits} hits, "
+            f"{service.cache_misses} misses"
+        )
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    with RunStore(_store_path(args)) as store:
+        if args.runs_command == "list":
+            records = store.list_runs(dataset=args.dataset)
+            if not records:
+                print("no runs recorded")
+                return 0
+            print(
+                f"{'RUN':<14} {'DATASET':<14} {'SEED':>4} {'SCALE':>6} "
+                f"{'STRATEGY':<8} {'STATUS':<9} {'QUESTIONS':>9}  UPDATED"
+            )
+            for r in records:
+                print(
+                    f"{r.run_id:<14} {r.dataset:<14} {r.seed:>4} {r.scale:>6} "
+                    f"{r.strategy:<8} {r.status:<9} {r.questions_asked:>9}  {r.updated_at}"
+                )
+            return 0
+        # runs show
+        record = store.get_run(args.run_id)
+        if record is None:
+            print(f"unknown run {args.run_id!r}", file=sys.stderr)
+            return 1
+        for key in (
+            "run_id", "dataset", "seed", "scale", "config_hash", "strategy",
+            "error_rate", "status", "questions_asked", "created_at", "updated_at",
+        ):
+            print(f"{key}: {getattr(record, key)}")
+        checkpoint = store.load_checkpoint(args.run_id)
+        if checkpoint is not None:
+            print(
+                f"checkpoint: loop {checkpoint.next_loop_index}, "
+                f"{checkpoint.questions_asked} questions asked, "
+                f"{len(checkpoint.answer_log)} labels recorded"
+            )
+        result = store.get_result(args.run_id)
+        if result is not None:
+            print(
+                f"result: {len(result.matches)} matches "
+                f"(labeled={len(result.labeled_matches)} "
+                f"inferred={len(result.inferred_matches)} "
+                f"isolated={len(result.isolated_matches)}) "
+                f"in {result.num_loops} loops"
+            )
+        if record.error:
+            print(f"error:\n{record.error}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    with RunStore(_store_path(args)) as store:
+        if args.cache_command == "clear":
+            removed = store.clear_prepared()
+            print(f"removed {removed} prepared state(s) from {store.path}")
+        else:  # info
+            stats = store.stats()
+            print(f"store: {stats['path']}")
+            print(f"prepared states: {stats['prepared_states']}")
+            for dataset, seed, scale, digest in store.list_prepared():
+                print(f"  {dataset} seed={seed} scale={scale} config={digest}")
+            print(f"runs: {stats['runs']} {stats['runs_by_status']}")
+            print(f"checkpoints: {stats['checkpoints']}")
     return 0
 
 
@@ -98,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_datasets.set_defaults(func=_cmd_datasets)
 
     p_run = sub.add_parser("run", help="run the Remp pipeline on a dataset")
-    p_run.add_argument("dataset", choices=DATASET_NAMES)
+    p_run.add_argument("dataset", nargs="?", choices=DATASET_NAMES)
     p_run.add_argument("--scale", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--mu", type=int, default=10)
@@ -108,7 +276,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--error-rate", type=float, default=0.05,
         help="worker error rate; 0 uses a perfect oracle",
     )
+    p_run.add_argument(
+        "--store", default=None,
+        help="run durably through this store: cached prepare + loop checkpoints",
+    )
+    p_run.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume an interrupted run from its checkpoint",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve-batch", help="run several datasets concurrently via the service"
+    )
+    p_serve.add_argument("datasets", nargs="+", choices=DATASET_NAMES)
+    p_serve.add_argument("--scale", type=float, default=1.0)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--strategy", default="remp", choices=("remp", "maxinf", "maxpr"))
+    p_serve.add_argument("--workers", type=int, default=4, help="thread-pool size")
+    p_serve.add_argument(
+        "--error-rate", type=float, default=0.0,
+        help="worker error rate; 0 uses a perfect oracle",
+    )
+    p_serve.add_argument("--store", default=None)
+    p_serve.set_defaults(func=_cmd_serve_batch)
+
+    p_runs = sub.add_parser("runs", help="query the run ledger")
+    p_runs.add_argument("--store", default=None)
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    p_runs_list.add_argument("--dataset", default=None)
+    p_runs_list.add_argument("--store", default=argparse.SUPPRESS)
+    p_runs_show = runs_sub.add_parser("show", help="show one run in detail")
+    p_runs_show.add_argument("run_id")
+    p_runs_show.add_argument("--store", default=argparse.SUPPRESS)
+    p_runs.set_defaults(func=_cmd_runs)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the prepared-state cache")
+    p_cache.add_argument("--store", default=None)
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_info = cache_sub.add_parser("info", help="show cache and ledger statistics")
+    p_cache_info.add_argument("--store", default=argparse.SUPPRESS)
+    p_cache_clear = cache_sub.add_parser("clear", help="drop all cached prepared states")
+    p_cache_clear.add_argument("--store", default=argparse.SUPPRESS)
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper artifact")
     p_exp.add_argument("name", choices=EXPERIMENT_NAMES)

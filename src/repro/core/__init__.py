@@ -22,6 +22,19 @@ The modules follow the paper's pipeline order:
 """
 
 from repro.core.config import RempConfig
-from repro.core.pipeline import Remp, RempResult
+from repro.core.pipeline import (
+    LoopCheckpoint,
+    LoopState,
+    PreparedState,
+    Remp,
+    RempResult,
+)
 
-__all__ = ["RempConfig", "Remp", "RempResult"]
+__all__ = [
+    "RempConfig",
+    "Remp",
+    "RempResult",
+    "PreparedState",
+    "LoopState",
+    "LoopCheckpoint",
+]

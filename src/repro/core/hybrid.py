@@ -22,7 +22,7 @@ same F1 on datasets whose partial order is clean — see
 
 from __future__ import annotations
 
-from repro.core.pipeline import PreparedState, Remp, _LoopState
+from repro.core.pipeline import LoopState, PreparedState, Remp
 from repro.core.truth import TruthInferenceResult
 from repro.core.vectors import dominates
 
@@ -31,7 +31,7 @@ Pair = tuple[str, str]
 
 def monotone_inferences(
     state: PreparedState,
-    loop_state: _LoopState,
+    loop_state: LoopState,
     truth: TruthInferenceResult,
 ) -> tuple[set[Pair], set[Pair]]:
     """Pairs resolvable from ``truth`` by entity-local monotonicity."""
@@ -62,7 +62,7 @@ def monotone_inferences(
     return inferred_matches & unresolved, inferred_non_matches & unresolved
 
 
-class _HybridLoopState(_LoopState):
+class _HybridLoopState(LoopState):
     """Loop state that adds monotone inference after each labeling round."""
 
     def apply_truth(self, truth: TruthInferenceResult) -> None:
@@ -82,5 +82,5 @@ class HybridRemp(Remp):
     only the per-label inference is extended.
     """
 
-    def _make_loop_state(self, state: PreparedState) -> _LoopState:
+    def _make_loop_state(self, state: PreparedState) -> LoopState:
         return _HybridLoopState(state, self.config)

@@ -7,11 +7,18 @@ estimation, probabilistic propagation, multiple questions selection, crowd
 labeling and truth inference — iterating until no unresolved pair can be
 inferred by relational match propagation — then resolves isolated pairs
 with the random-forest classifier.
+
+The loop is resumable: :class:`LoopState` snapshots its resolution sets to
+a JSON-able document, ``run`` accepts a :class:`LoopCheckpoint` to continue
+an interrupted run mid-loop, and an ``on_checkpoint`` callback receives a
+fresh checkpoint after every batch of crowd answers (persisted by
+:mod:`repro.store`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.attributes import AttributeMatch, match_attributes
 from repro.core.candidates import CandidateSet, generate_candidates
@@ -79,6 +86,27 @@ class RempResult:
     inferred_matches: set[Pair] = field(default_factory=set)
     isolated_matches: set[Pair] = field(default_factory=set)
     non_matches: set[Pair] = field(default_factory=set)
+
+
+@dataclass(slots=True)
+class LoopCheckpoint:
+    """Everything needed to resume an interrupted run mid-loop.
+
+    ``loop_state`` is a :meth:`LoopState.snapshot` document and
+    ``answer_log`` a :meth:`repro.crowd.CrowdPlatform.export_answer_log`
+    record list — both plain JSON-able values, so a checkpoint can be
+    persisted and reloaded by :mod:`repro.store` without pickling.
+    """
+
+    next_loop_index: int
+    questions_asked: int
+    history: list[LoopRecord]
+    loop_state: dict
+    answer_log: list[dict]
+
+
+#: Callback invoked with a fresh checkpoint after each labeling round.
+CheckpointSink = Callable[[LoopCheckpoint], None]
 
 
 class Remp:
@@ -158,74 +186,109 @@ class Remp:
         platform: CrowdPlatform,
         strategy: str = "remp",
         state: PreparedState | None = None,
+        resume_from: LoopCheckpoint | None = None,
+        on_checkpoint: CheckpointSink | None = None,
     ) -> RempResult:
         """Execute the full crowdsourced collective ER workflow.
 
         ``strategy`` selects the question-selection policy: ``"remp"``
         (Algorithm 3), ``"maxinf"`` or ``"maxpr"`` (the Figure 5 baselines).
         A pre-computed ``state`` may be passed to share offline work across
-        runs.
+        runs.  ``resume_from`` continues an interrupted run from a
+        checkpoint (the caller must replay the checkpoint's answer log into
+        ``platform`` so past questions are not re-billed); ``on_checkpoint``
+        receives a fresh :class:`LoopCheckpoint` after every labeling round.
+
+        ``questions_asked`` counts the *distinct* questions billed by the
+        platform during the run (plus those recorded in ``resume_from``):
+        a question whose labels are already recorded — re-selected because
+        truth inference left it unresolved, re-used by the isolated-pair
+        classifier, or replayed on resume — costs nothing extra.
         """
         config = self.config
         state = state or self.prepare(kb1, kb2)
         loop_state = self._make_loop_state(state)
 
         history: list[LoopRecord] = []
-        questions_asked = 0
-        for loop_index in range(config.max_loops):
-            loop_state.propagate(kb1, kb2)
-            candidates = loop_state.askable_questions()
-            if not candidates:
-                break
+        base_questions = 0
+        start_loop = 0
+        if resume_from is not None:
+            loop_state.restore(resume_from.loop_state)
+            history = list(resume_from.history)
+            base_questions = resume_from.questions_asked
+            start_loop = resume_from.next_loop_index
+        billed_at_start = platform.questions_asked
+
+        for loop_index in range(start_loop, config.max_loops):
+            questions_asked = base_questions + (platform.questions_asked - billed_at_start)
             remaining_budget = None
             if config.budget is not None:
                 remaining_budget = config.budget - questions_asked
-                if remaining_budget <= 0:
-                    break
-            batch = self._select(strategy, candidates, loop_state, remaining_budget)
-            if not batch:
+            record = self._loop_once(
+                loop_state, platform, strategy, loop_index, remaining_budget
+            )
+            if record is None:
                 break
-            answers = platform.ask_batch(batch)
-            questions_asked += len(batch)
-            truth = infer_truths(
-                answers,
-                loop_state.priors,
-                config.match_posterior,
-                config.non_match_posterior,
-                config.default_prior,
-            )
-            loop_state.apply_truth(truth)
-            history.append(
-                LoopRecord(
-                    loop_index=loop_index,
-                    questions=batch,
-                    labeled_matches=len(truth.matches),
-                    labeled_non_matches=len(truth.non_matches),
-                    unresolved_questions=len(truth.unresolved),
-                    inferred_matches_so_far=len(loop_state.inferred_matches),
+            history.append(record)
+            if on_checkpoint is not None:
+                on_checkpoint(
+                    LoopCheckpoint(
+                        next_loop_index=loop_index + 1,
+                        questions_asked=base_questions
+                        + (platform.questions_asked - billed_at_start),
+                        history=list(history),
+                        loop_state=loop_state.snapshot(),
+                        answer_log=platform.export_answer_log(),
+                    )
                 )
-            )
         # Final propagation pass for the last batch of labels.
         loop_state.propagate(kb1, kb2)
 
-        isolated_matches, isolated_questions = self._classify_isolated(
-            state, loop_state, platform
+        isolated_matches, _ = self._classify_isolated(state, loop_state, platform)
+        questions_asked = base_questions + (platform.questions_asked - billed_at_start)
+        return assemble_result(loop_state, isolated_matches, questions_asked, history)
+
+    def _loop_once(
+        self,
+        loop_state: "LoopState",
+        platform: CrowdPlatform,
+        strategy: str,
+        loop_index: int,
+        remaining_budget: int | None,
+    ) -> LoopRecord | None:
+        """One human–machine loop: propagate, select, ask, infer truth.
+
+        Returns ``None`` once the loop has converged (no askable question
+        remains) or the budget is exhausted.  Shared by :meth:`run` and the
+        stepwise sessions of :mod:`repro.service`.
+        """
+        config = self.config
+        kb1, kb2 = loop_state.state.kb1, loop_state.state.kb2
+        loop_state.propagate(kb1, kb2)
+        candidates = loop_state.askable_questions()
+        if not candidates:
+            return None
+        if remaining_budget is not None and remaining_budget <= 0:
+            return None
+        batch = self._select(strategy, candidates, loop_state, remaining_budget)
+        if not batch:
+            return None
+        answers = platform.ask_batch(batch)
+        truth = infer_truths(
+            answers,
+            loop_state.priors,
+            config.match_posterior,
+            config.non_match_posterior,
+            config.default_prior,
         )
-        questions_asked += isolated_questions
-        matches = (
-            loop_state.labeled_matches
-            | loop_state.inferred_matches
-            | isolated_matches
-        )
-        return RempResult(
-            matches=matches,
-            questions_asked=questions_asked,
-            num_loops=len(history),
-            history=history,
-            labeled_matches=set(loop_state.labeled_matches),
-            inferred_matches=set(loop_state.inferred_matches),
-            isolated_matches=isolated_matches,
-            non_matches=set(loop_state.resolved_non_matches),
+        loop_state.apply_truth(truth)
+        return LoopRecord(
+            loop_index=loop_index,
+            questions=batch,
+            labeled_matches=len(truth.matches),
+            labeled_non_matches=len(truth.non_matches),
+            unresolved_questions=len(truth.unresolved),
+            inferred_matches_so_far=len(loop_state.inferred_matches),
         )
 
     def propagate_only(
@@ -252,15 +315,15 @@ class Remp:
         return set(loop_state.labeled_matches) | set(loop_state.inferred_matches)
 
     # ------------------------------------------------------------------
-    def _make_loop_state(self, state: PreparedState) -> "_LoopState":
+    def _make_loop_state(self, state: PreparedState) -> "LoopState":
         """Hook for subclasses that add inference rules (see core.hybrid)."""
-        return _LoopState(state, self.config)
+        return LoopState(state, self.config)
 
     def _select(
         self,
         strategy: str,
         candidates: list[Pair],
-        loop_state: "_LoopState",
+        loop_state: "LoopState",
         remaining_budget: int | None,
     ) -> list[Pair]:
         mu = self.config.mu
@@ -278,7 +341,7 @@ class Remp:
     def _classify_isolated(
         self,
         state: PreparedState,
-        loop_state: "_LoopState",
+        loop_state: "LoopState",
         platform: CrowdPlatform | None,
     ) -> tuple[set[Pair], int]:
         isolated_unresolved = sorted(
@@ -328,8 +391,15 @@ class Remp:
         return predicted, classifier.questions_asked
 
 
-class _LoopState:
-    """Mutable state threaded through the human–machine loops."""
+class LoopState:
+    """Mutable state threaded through the human–machine loops.
+
+    The currently-unresolved pair set is maintained incrementally (every
+    resolution removes its pair), so membership checks inside propagation
+    are O(1) instead of rebuilding a set difference over all retained
+    pairs.  :meth:`snapshot` and :meth:`restore` round-trip the resolution
+    state through a JSON-able document for checkpoint/resume.
+    """
 
     def __init__(self, state: PreparedState, config: RempConfig):
         self.state = state
@@ -339,6 +409,7 @@ class _LoopState:
         self.inferred_matches: set[Pair] = set()
         self.resolved_matches: set[Pair] = set()
         self.resolved_non_matches: set[Pair] = set()
+        self._unresolved: set[Pair] = set(state.retained)
         self._inferred_sets: dict[Pair, dict[Pair, float]] = {}
         self._by_left: dict[str, list[Pair]] = {}
         self._by_right: dict[str, list[Pair]] = {}
@@ -353,6 +424,7 @@ class _LoopState:
         # A positive label overrides an earlier competitor demotion.
         self.resolved_non_matches.discard(pair)
         self.resolved_matches.add(pair)
+        self._unresolved.discard(pair)
         if labeled:
             self.labeled_matches.add(pair)
         else:
@@ -363,6 +435,7 @@ class _LoopState:
     def resolve_non_match(self, pair: Pair) -> None:
         if pair not in self.resolved_matches:
             self.resolved_non_matches.add(pair)
+            self._unresolved.discard(pair)
 
     def apply_truth(self, truth) -> None:
         """Fold one round of truth inference into the resolution state."""
@@ -377,12 +450,43 @@ class _LoopState:
         for sibling in self._by_left.get(pair[0], ()):
             if sibling != pair and sibling not in self.resolved_matches:
                 self.resolved_non_matches.add(sibling)
+                self._unresolved.discard(sibling)
         for sibling in self._by_right.get(pair[1], ()):
             if sibling != pair and sibling not in self.resolved_matches:
                 self.resolved_non_matches.add(sibling)
+                self._unresolved.discard(sibling)
 
     def unresolved(self) -> set[Pair]:
-        return self.state.retained - self.resolved_matches - self.resolved_non_matches
+        """A copy of the currently-unresolved retained pairs."""
+        return set(self._unresolved)
+
+    # -- checkpointing --------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able document capturing priors and all resolution sets.
+
+        The inferred sets and the probabilistic graph are derived state
+        and are rebuilt by the next :meth:`propagate` call after
+        :meth:`restore`.
+        """
+        return {
+            "priors": sorted([left, right, p] for (left, right), p in self.priors.items()),
+            "labeled_matches": sorted(map(list, self.labeled_matches)),
+            "inferred_matches": sorted(map(list, self.inferred_matches)),
+            "resolved_matches": sorted(map(list, self.resolved_matches)),
+            "resolved_non_matches": sorted(map(list, self.resolved_non_matches)),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset this state to a previously captured :meth:`snapshot`."""
+        self.priors = {(left, right): p for left, right, p in snapshot["priors"]}
+        self.labeled_matches = {(l, r) for l, r in snapshot["labeled_matches"]}
+        self.inferred_matches = {(l, r) for l, r in snapshot["inferred_matches"]}
+        self.resolved_matches = {(l, r) for l, r in snapshot["resolved_matches"]}
+        self.resolved_non_matches = {(l, r) for l, r in snapshot["resolved_non_matches"]}
+        self._unresolved = (
+            self.state.retained - self.resolved_matches - self.resolved_non_matches
+        )
+        self._inferred_sets = {}
 
     # -- propagation ----------------------------------------------------
     def propagate(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> None:
@@ -416,22 +520,23 @@ class _LoopState:
         prob_graph = build_probabilistic_graph(
             self.state.graph, kb1, kb2, effective_priors, consistencies, config
         )
-        unresolved = self.unresolved()
         sources = set(self.labeled_matches & self.state.retained)
-        sources.update(q for q in unresolved if self.state.graph.groups.get(q))
+        sources.update(q for q in self._unresolved if self.state.graph.groups.get(q))
         self._inferred_sets = inferred_sets(
             prob_graph, sources, config.tau, config.use_dijkstra
         )
-        # Distant propagation: everything within ζ of a labeled match.
+        # Distant propagation: everything within ζ of a labeled match.  The
+        # incrementally-maintained unresolved set keeps the membership test
+        # O(1); resolve_match (and its competitor demotions) updates it.
         for match in sorted(self.labeled_matches & self.state.retained):
             for pair in self._inferred_sets.get(match, ()):
-                if pair in self.unresolved():
+                if pair in self._unresolved:
                     self.resolve_match(pair, labeled=False)
 
     # -- question candidates -------------------------------------------
     def restricted_inferred_sets(self) -> dict[Pair, dict[Pair, float]]:
         """Inferred sets restricted to currently unresolved pairs (Eq. 12)."""
-        unresolved = self.unresolved()
+        unresolved = self._unresolved
         return {
             question: {p: d for p, d in inferred.items() if p in unresolved}
             for question, inferred in self._inferred_sets.items()
@@ -452,3 +557,32 @@ class _LoopState:
             for question, inferred in restricted.items()
             if len(inferred) > 1 and self.priors.get(question, 0.0) > 0.0
         ]
+
+
+def assemble_result(
+    loop_state: LoopState,
+    isolated_matches: set[Pair],
+    questions_asked: int,
+    history: list[LoopRecord],
+) -> RempResult:
+    """Package a finished loop state into a :class:`RempResult`.
+
+    Shared by :meth:`Remp.run` and the stepwise sessions of
+    :mod:`repro.service`, which finalize a loop state they advanced
+    themselves.
+    """
+    matches = loop_state.labeled_matches | loop_state.inferred_matches | isolated_matches
+    return RempResult(
+        matches=matches,
+        questions_asked=questions_asked,
+        num_loops=len(history),
+        history=history,
+        labeled_matches=set(loop_state.labeled_matches),
+        inferred_matches=set(loop_state.inferred_matches),
+        isolated_matches=isolated_matches,
+        non_matches=set(loop_state.resolved_non_matches),
+    )
+
+
+#: Backward-compatible alias from before LoopState became public API.
+_LoopState = LoopState

@@ -5,16 +5,31 @@ Publishes pairwise questions to a pool of workers, assigns each question to
 labels so that different ER approaches asking the same question receive
 identical answers — exactly the protocol of the paper's real-worker
 experiment ("we reuse the label to each question for all approaches").
+
+Labels are a pure function of ``(platform seed, question)``: worker
+assignment and simulated-worker noise both draw from a per-question RNG
+derived by stable hashing, so the answers to a question do not depend on
+how many or in what order other questions were asked.  Together with the
+exportable answer log this makes runs checkpoint/resume-safe — a resumed
+run replays recorded answers and generates identical labels for new
+questions, with no seed-reproducibility drift.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
 from repro.crowd.worker import Oracle, SimulatedWorker, Worker
 
 Question = tuple[str, str]
+
+
+def _question_seed(seed: int, question: Question) -> int:
+    """Stable 64-bit RNG seed derived from the platform seed and question."""
+    key = f"{seed}\x1f{question[0]}\x1f{question[1]}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,7 +72,7 @@ class CrowdPlatform:
         self.workers = list(workers)
         self.truth = truth
         self.workers_per_question = min(workers_per_question, len(self.workers))
-        self._rng = random.Random(seed)
+        self._seed = seed
         self._label_cache: dict[Question, list[LabelRecord]] = {}
         #: Total number of distinct questions ever published (billing unit).
         self.questions_asked = 0
@@ -76,9 +91,15 @@ class CrowdPlatform:
         if cached is not None:
             return cached
         truth = question in self.truth
-        assigned = self._rng.sample(self.workers, self.workers_per_question)
+        rng = random.Random(_question_seed(self._seed, question))
+        assigned = rng.sample(self.workers, self.workers_per_question)
         records = [
-            LabelRecord(question, w.worker_id, w.answer(question, truth), w.quality)
+            LabelRecord(
+                question,
+                w.worker_id,
+                w.answer(question, truth, rng=random.Random(rng.randrange(2**63))),
+                w.quality,
+            )
             for w in assigned
         ]
         self._label_cache[question] = records
@@ -100,6 +121,51 @@ class CrowdPlatform:
         """Zero the cost counters but keep cached labels (label reuse)."""
         self.questions_asked = 0
         self.labels_collected = 0
+
+    # ------------------------------------------------------------------
+    # Answer log (checkpoint/resume support)
+    # ------------------------------------------------------------------
+    @property
+    def answer_log(self) -> dict[Question, list[LabelRecord]]:
+        """Every recorded label so far, keyed by question (read-only view)."""
+        return dict(self._label_cache)
+
+    def export_answer_log(self) -> list[dict]:
+        """JSON-able log of all recorded labels, ordered by question.
+
+        Feed the result to :meth:`load_answer_log` on a fresh platform to
+        replay past answers instead of re-sampling workers.
+        """
+        return [
+            {
+                "question": list(question),
+                "worker_id": record.worker_id,
+                "label": record.label,
+                "worker_quality": record.worker_quality,
+            }
+            for question in sorted(self._label_cache)
+            for record in self._label_cache[question]
+        ]
+
+    def load_answer_log(self, log: list[dict]) -> None:
+        """Replay recorded labels into the cache without billing them.
+
+        Questions already cached are left untouched (their recorded labels
+        win), matching the label-reuse protocol.
+        """
+        replayed: dict[Question, list[LabelRecord]] = {}
+        for entry in log:
+            question = (entry["question"][0], entry["question"][1])
+            replayed.setdefault(question, []).append(
+                LabelRecord(
+                    question,
+                    entry["worker_id"],
+                    bool(entry["label"]),
+                    float(entry["worker_quality"]),
+                )
+            )
+        for question, records in replayed.items():
+            self._label_cache.setdefault(question, records)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -23,11 +23,20 @@ class Worker(ABC):
         self.quality = quality
 
     @abstractmethod
-    def answer(self, question: tuple[str, str], truth: bool) -> bool:
+    def answer(
+        self,
+        question: tuple[str, str],
+        truth: bool,
+        rng: random.Random | None = None,
+    ) -> bool:
         """Return this worker's label for ``question`` given its ``truth``.
 
         The simulation passes the gold answer; concrete workers corrupt it
-        according to their own error model.
+        according to their own error model.  When ``rng`` is provided (the
+        platform derives one per question), the worker draws from it
+        instead of its own sequential stream, making the label a pure
+        function of ``(platform seed, question)`` — the property that lets
+        resumed runs replay identically.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -44,8 +53,13 @@ class SimulatedWorker(Worker):
         self.error_rate = error_rate
         self._rng = random.Random(seed)
 
-    def answer(self, question: tuple[str, str], truth: bool) -> bool:
-        if self._rng.random() < self.error_rate:
+    def answer(
+        self,
+        question: tuple[str, str],
+        truth: bool,
+        rng: random.Random | None = None,
+    ) -> bool:
+        if (rng or self._rng).random() < self.error_rate:
             return not truth
         return truth
 
@@ -56,5 +70,10 @@ class Oracle(Worker):
     def __init__(self, worker_id: str = "oracle"):
         super().__init__(worker_id, quality=1.0)
 
-    def answer(self, question: tuple[str, str], truth: bool) -> bool:
+    def answer(
+        self,
+        question: tuple[str, str],
+        truth: bool,
+        rng: random.Random | None = None,
+    ) -> bool:
         return truth

@@ -38,4 +38,6 @@ def load_dataset(name: str, seed: int = 0, scale: float = 1.0) -> DatasetBundle:
         builder = PROFILE_BUILDERS[name]
     except KeyError:
         raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}") from None
-    return generate_dataset(builder(scale), seed=seed)
+    bundle = generate_dataset(builder(scale), seed=seed)
+    bundle.scale = scale
+    return bundle

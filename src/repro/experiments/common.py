@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core import Remp, RempConfig
@@ -10,6 +11,7 @@ from repro.crowd import CrowdPlatform
 from repro.datasets import load_dataset
 from repro.datasets.registry import DISPLAY_NAMES
 from repro.datasets.synthesis import DatasetBundle
+from repro.store import RunStore, config_hash
 
 Pair = tuple[str, str]
 
@@ -47,9 +49,66 @@ def display_name(dataset: str) -> str:
     return DISPLAY_NAMES.get(dataset, dataset)
 
 
+#: Process-wide prepared-state cache shared by every experiment driver and
+#: benchmark repetition.  Keyed by dataset provenance, a KB fingerprint
+#: (guarding against hand-built bundles reusing a name) and config hash.
+_PREPARED_CACHE: dict[tuple, PreparedState] = {}
+_ENV_STORE: RunStore | None = None
+
+
+def _env_store() -> RunStore | None:
+    """The SQLite store named by ``REPRO_STORE``, if the variable is set.
+
+    Lets ``repro experiment`` / benchmark invocations share offline work
+    across processes through :mod:`repro.store`.
+    """
+    global _ENV_STORE
+    path = os.environ.get("REPRO_STORE")
+    if not path:
+        return None
+    if _ENV_STORE is None or _ENV_STORE.path != path:
+        _ENV_STORE = RunStore(path)
+    return _ENV_STORE
+
+
+def _kb_fingerprint(kb) -> tuple:
+    return (len(kb), kb.num_attribute_triples, kb.num_relationship_triples)
+
+
+def _bundle_key(bundle: DatasetBundle, config: RempConfig | None) -> tuple:
+    fingerprint = _kb_fingerprint(bundle.kb1) + _kb_fingerprint(bundle.kb2)
+    return (bundle.name, bundle.seed, bundle.scale, fingerprint, config_hash(config))
+
+
 def prepared_state(bundle: DatasetBundle, config: RempConfig | None = None) -> PreparedState:
-    """Offline Remp artifacts for a bundle (shared across approaches)."""
-    return Remp(config or RempConfig()).prepare(bundle.kb1, bundle.kb2)
+    """Offline Remp artifacts for a bundle, via the prepared-state cache.
+
+    Shared across approaches within one driver and across drivers within
+    the process; with ``REPRO_STORE`` set, also persisted across
+    processes.  Cache hits return the identical object, so approaches
+    compared in one table really do share offline work.
+    """
+    key = _bundle_key(bundle, config)
+    state = _PREPARED_CACHE.get(key)
+    if state is not None:
+        return state
+    store = _env_store()
+    if store is not None:
+        state = store.load_prepared(bundle.name, bundle.seed, bundle.scale, config)
+        # The store key carries no KB fingerprint; a hand-built bundle can
+        # collide with a canonical dataset's row.  Treat a stored state
+        # whose KBs don't match this bundle as a miss (and recompute).
+        if state is not None and (
+            _kb_fingerprint(state.kb1) != _kb_fingerprint(bundle.kb1)
+            or _kb_fingerprint(state.kb2) != _kb_fingerprint(bundle.kb2)
+        ):
+            state = None
+    if state is None:
+        state = Remp(config or RempConfig()).prepare(bundle.kb1, bundle.kb2)
+        if store is not None:
+            store.save_prepared(bundle.name, bundle.seed, bundle.scale, config, state)
+    _PREPARED_CACHE[key] = state
+    return state
 
 
 def real_worker_platform(bundle: DatasetBundle, seed: int = 0) -> CrowdPlatform:

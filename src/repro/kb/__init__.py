@@ -8,13 +8,22 @@ statistics used by every other layer of the library.
 
 from repro.kb.model import KnowledgeBase, Triple
 from repro.kb.stats import KBStatistics, describe
-from repro.kb.io import load_kb_json, save_kb_json, load_kb_tsv, save_kb_tsv
+from repro.kb.io import (
+    kb_from_doc,
+    kb_to_doc,
+    load_kb_json,
+    save_kb_json,
+    load_kb_tsv,
+    save_kb_tsv,
+)
 
 __all__ = [
     "KnowledgeBase",
     "Triple",
     "KBStatistics",
     "describe",
+    "kb_to_doc",
+    "kb_from_doc",
     "load_kb_json",
     "save_kb_json",
     "load_kb_tsv",

@@ -16,24 +16,34 @@ from pathlib import Path
 from repro.kb.model import KnowledgeBase
 
 
-def save_kb_json(kb: KnowledgeBase, path: str | Path) -> None:
-    """Write ``kb`` to ``path`` as a JSON document."""
-    doc = {
+def _triple_key(triple: list) -> tuple:
+    """Type-stable sort key: literals of mixed types cannot be compared."""
+    subject, prop, value = triple
+    return (subject, prop, type(value).__name__, str(value))
+
+
+def kb_to_doc(kb: KnowledgeBase) -> dict:
+    """``kb`` as a JSON-able document with deterministically ordered triples.
+
+    Equal knowledge bases produce equal documents regardless of insertion
+    order, so the document doubles as a stable serialization format for
+    :mod:`repro.store` and as an equality witness in tests.
+    """
+    return {
         "name": kb.name,
         "entities": sorted(kb.entities),
-        "attribute_triples": [
-            [t.subject, t.prop, t.value] for t in kb.iter_attribute_triples()
-        ],
-        "relationship_triples": [
+        "attribute_triples": sorted(
+            ([t.subject, t.prop, t.value] for t in kb.iter_attribute_triples()),
+            key=_triple_key,
+        ),
+        "relationship_triples": sorted(
             [t.subject, t.prop, t.value] for t in kb.iter_relationship_triples()
-        ],
+        ),
     }
-    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
 
 
-def load_kb_json(path: str | Path) -> KnowledgeBase:
-    """Read a KB previously written by :func:`save_kb_json`."""
-    doc = json.loads(Path(path).read_text())
+def kb_from_doc(doc: dict) -> KnowledgeBase:
+    """Rebuild a :class:`KnowledgeBase` from a :func:`kb_to_doc` document."""
     kb = KnowledgeBase(doc.get("name", "kb"))
     for entity in doc.get("entities", []):
         kb.add_entity(entity)
@@ -42,6 +52,16 @@ def load_kb_json(path: str | Path) -> KnowledgeBase:
     for subject, prop, value in doc.get("relationship_triples", []):
         kb.add_relationship_triple(subject, prop, str(value))
     return kb
+
+
+def save_kb_json(kb: KnowledgeBase, path: str | Path) -> None:
+    """Write ``kb`` to ``path`` as a JSON document."""
+    Path(path).write_text(json.dumps(kb_to_doc(kb), indent=1, sort_keys=True))
+
+
+def load_kb_json(path: str | Path) -> KnowledgeBase:
+    """Read a KB previously written by :func:`save_kb_json`."""
+    return kb_from_doc(json.loads(Path(path).read_text()))
 
 
 def save_kb_tsv(kb: KnowledgeBase, path: str | Path) -> None:

@@ -1,0 +1,446 @@
+"""The concurrent matching service.
+
+:class:`MatchingService` multiplexes many Remp human–machine loops over
+one :class:`repro.store.RunStore`:
+
+* ``prepare()`` work is deduplicated through a two-level cache — an
+  in-process dictionary in front of the store's SQLite table — with one
+  lock per cache key, so concurrent submissions of the same
+  ``(dataset, seed, scale, config)`` compute the offline stages exactly
+  once and every other session blocks until the artifact is ready.
+* Each submitted run becomes a :class:`MatchingSession` with an explicit
+  ``submit / step / status / result`` lifecycle.  Background sessions run
+  on a thread pool; foreground sessions are advanced by calling
+  :meth:`MatchingService.step` one human–machine loop at a time.
+* Every labeling round checkpoints to the store, so a killed process (or
+  a failed session) resumes mid-loop via :meth:`MatchingService.resume`,
+  replaying the recorded crowd answers instead of re-asking.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.core import Remp, RempConfig
+from repro.core.pipeline import (
+    LoopCheckpoint,
+    PreparedState,
+    RempResult,
+    assemble_result,
+)
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+from repro.store import RunStore, config_hash
+from repro.store.store import RunRecord
+
+Pair = tuple[str, str]
+
+#: Session lifecycle states (mirrors the ledger's run statuses).
+QUEUED = "queued"
+PREPARING = "preparing"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+def _build_platform(bundle, error_rate: float, seed: int) -> CrowdPlatform:
+    """The crowd for one session: an oracle, or seeded noisy workers."""
+    if error_rate <= 0.0:
+        return CrowdPlatform.with_oracle(bundle.gold_matches)
+    return CrowdPlatform.with_simulated_workers(
+        bundle.gold_matches, error_rate=error_rate, seed=seed
+    )
+
+
+class MatchingSession:
+    """One resumable Remp run with an explicit stepwise lifecycle.
+
+    Sessions are created by :class:`MatchingService` and advanced either
+    by its thread pool (:meth:`run`) or manually (:meth:`step` …
+    :meth:`finalize`).  All mutating methods take the session lock, so a
+    session may be driven from any single thread at a time.
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        *,
+        dataset: str,
+        seed: int,
+        scale: float,
+        config: RempConfig | None,
+        strategy: str,
+        error_rate: float,
+        store: RunStore,
+        prepared_provider,
+    ):
+        self.run_id = run_id
+        self.dataset = dataset
+        self.seed = seed
+        self.scale = scale
+        self.config = config or RempConfig()
+        self.strategy = strategy
+        self.error_rate = error_rate
+        self.status = QUEUED
+        self.error: str | None = None
+        self._store = store
+        self._prepared_provider = prepared_provider
+        self._remp = Remp(self.config, seed=seed)
+        self._lock = threading.RLock()
+        self._loop_state = None
+        self._platform: CrowdPlatform | None = None
+        self._history = []
+        self._base_questions = 0
+        self._billed_at_start = 0
+        self._next_loop = 0
+        self._loop_converged = False
+        self._result: RempResult | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def questions_asked(self) -> int:
+        if self._result is not None:
+            return self._result.questions_asked
+        if self._platform is None:
+            return self._base_questions
+        return self._base_questions + (
+            self._platform.questions_asked - self._billed_at_start
+        )
+
+    @property
+    def num_loops(self) -> int:
+        return len(self._history)
+
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        """Prepare (through the cache), build the crowd, load any checkpoint."""
+        if self._loop_state is not None:
+            return
+        self.status = PREPARING
+        self._store.update_run_status(self.run_id, PREPARING)
+        state: PreparedState = self._prepared_provider(
+            self.dataset, self.seed, self.scale, self.config
+        )
+        bundle = load_dataset(self.dataset, seed=self.seed, scale=self.scale)
+        self._platform = _build_platform(bundle, self.error_rate, self.seed)
+        self._loop_state = self._remp._make_loop_state(state)
+        checkpoint = self._store.load_checkpoint(self.run_id)
+        if checkpoint is not None:
+            self._loop_state.restore(checkpoint.loop_state)
+            self._platform.load_answer_log(checkpoint.answer_log)
+            self._history = list(checkpoint.history)
+            self._base_questions = checkpoint.questions_asked
+            self._next_loop = checkpoint.next_loop_index
+        self._billed_at_start = self._platform.questions_asked
+        self.status = RUNNING
+        self._store.update_run_status(self.run_id, RUNNING)
+
+    def step(self) -> bool:
+        """Advance one human–machine loop and checkpoint it.
+
+        Returns ``False`` once the loop has converged (or already
+        finished); call :meth:`finalize` afterwards for the result.
+        """
+        with self._lock:
+            if self._result is not None or self._loop_converged:
+                return False
+            self._ensure_started()
+            config = self._remp.config
+            if self._next_loop >= config.max_loops:
+                self._loop_converged = True
+                return False
+            remaining_budget = None
+            if config.budget is not None:
+                remaining_budget = config.budget - self.questions_asked
+            record = self._remp._loop_once(
+                self._loop_state,
+                self._platform,
+                self.strategy,
+                self._next_loop,
+                remaining_budget,
+            )
+            if record is None:
+                self._loop_converged = True
+                return False
+            self._next_loop += 1
+            self._history.append(record)
+            self._store.save_checkpoint(
+                self.run_id,
+                LoopCheckpoint(
+                    next_loop_index=self._next_loop,
+                    questions_asked=self.questions_asked,
+                    history=list(self._history),
+                    loop_state=self._loop_state.snapshot(),
+                    answer_log=self._platform.export_answer_log(),
+                ),
+            )
+            return True
+
+    def finalize(self) -> RempResult:
+        """Final propagation, isolated-pair classification, ledger write."""
+        with self._lock:
+            if self._result is not None:
+                return self._result
+            self._ensure_started()
+            state = self._loop_state.state
+            self._loop_state.propagate(state.kb1, state.kb2)
+            isolated_matches, _ = self._remp._classify_isolated(
+                state, self._loop_state, self._platform
+            )
+            result = assemble_result(
+                self._loop_state,
+                isolated_matches,
+                self.questions_asked,
+                list(self._history),
+            )
+            self._result = result
+            self.status = DONE
+            self._store.finish_run(self.run_id, result)
+            return result
+
+    def run(self) -> RempResult:
+        """Drive the session to completion (the thread-pool entry point)."""
+        try:
+            while self.step():
+                pass
+            return self.finalize()
+        except Exception as exc:
+            with self._lock:
+                self.status = FAILED
+                self.error = f"{type(exc).__name__}: {exc}"
+                self._store.fail_run(self.run_id, traceback.format_exc())
+            raise
+
+    def result(self) -> RempResult | None:
+        return self._result
+
+
+class MatchingService:
+    """Concurrent front-end over a :class:`repro.store.RunStore`.
+
+    Examples
+    --------
+    >>> from repro.service import MatchingService
+    >>> service = MatchingService(":memory:", max_workers=2)
+    >>> a = service.submit("iimb", scale=0.2)
+    >>> b = service.submit("iimb", scale=0.2)   # same key: prepare() once
+    >>> service.result(a).matches == service.result(b).matches
+    True
+    >>> service.close()
+    """
+
+    def __init__(
+        self,
+        store: RunStore | str = ":memory:",
+        *,
+        max_workers: int = 4,
+        error_rate: float = 0.0,
+    ):
+        self._store = store if isinstance(store, RunStore) else RunStore(store)
+        self._owns_store = not isinstance(store, RunStore)
+        self._default_error_rate = error_rate
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="remp-session"
+        )
+        self._sessions: dict[str, MatchingSession] = {}
+        self._futures: dict[str, Future] = {}
+        self._memory_cache: dict[tuple, PreparedState] = {}
+        self._key_locks: dict[tuple, threading.Lock] = {}
+        self._lock = threading.Lock()
+        #: Prepared-state cache accounting (memory or store hits vs. computes).
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> RunStore:
+        return self._store
+
+    def close(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+        if self._owns_store:
+            self._store.close()
+
+    def __enter__(self) -> "MatchingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Prepared-state cache
+    # ------------------------------------------------------------------
+    def prepared(
+        self,
+        dataset: str,
+        seed: int = 0,
+        scale: float = 1.0,
+        config: RempConfig | None = None,
+    ) -> PreparedState:
+        """The offline artifacts for a key, computed at most once.
+
+        Memory cache first, then the store; a miss runs ``Remp.prepare``
+        under a per-key lock so concurrent sessions asking for the same
+        key wait for the one computation instead of repeating it.
+        """
+        key = (dataset, seed, scale, config_hash(config))
+        with self._lock:
+            state = self._memory_cache.get(key)
+            if state is not None:
+                self.cache_hits += 1
+                return state
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                state = self._memory_cache.get(key)
+                if state is not None:
+                    self.cache_hits += 1
+                    return state
+            state = self._store.load_prepared(dataset, seed, scale, config)
+            if state is not None:
+                with self._lock:
+                    self.cache_hits += 1
+                    self._memory_cache[key] = state
+                return state
+            bundle = load_dataset(dataset, seed=seed, scale=scale)
+            state = Remp(config or RempConfig(), seed=seed).prepare(
+                bundle.kb1, bundle.kb2
+            )
+            self._store.save_prepared(dataset, seed, scale, config, state)
+            with self._lock:
+                self.cache_misses += 1
+                self._memory_cache[key] = state
+            return state
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        dataset: str,
+        *,
+        seed: int = 0,
+        scale: float = 1.0,
+        config: RempConfig | None = None,
+        strategy: str = "remp",
+        error_rate: float | None = None,
+        background: bool = True,
+    ) -> str:
+        """Register a new run and return its id.
+
+        With ``background=True`` the session starts on the thread pool;
+        otherwise it waits to be advanced via :meth:`step` (one
+        human–machine loop per call) or driven to completion by
+        :meth:`result`.
+        """
+        if error_rate is None:
+            error_rate = self._default_error_rate
+        run_id = self._store.create_run(
+            dataset, seed, scale, config, strategy=strategy, error_rate=error_rate
+        )
+        session = MatchingSession(
+            run_id,
+            dataset=dataset,
+            seed=seed,
+            scale=scale,
+            config=config,
+            strategy=strategy,
+            error_rate=error_rate,
+            store=self._store,
+            prepared_provider=self.prepared,
+        )
+        with self._lock:
+            self._sessions[run_id] = session
+        if background:
+            with self._lock:
+                self._futures[run_id] = self._executor.submit(session.run)
+        return run_id
+
+    def resume(self, run_id: str, background: bool = True) -> str:
+        """Rebuild a session for an interrupted or failed ledger run.
+
+        The stored checkpoint (if any) restores the resolution state and
+        replays the crowd answer log, so no past question is re-asked.
+        """
+        record = self._store.get_run(run_id)
+        if record is None:
+            raise KeyError(f"unknown run {run_id!r}")
+        if record.status == DONE:
+            raise ValueError(f"run {run_id!r} already finished")
+        with self._lock:
+            future = self._futures.get(run_id)
+            live = self._sessions.get(run_id)
+        if future is not None and not future.done():
+            raise ValueError(f"run {run_id!r} is still active in this service")
+        if live is not None and live.status in (QUEUED, PREPARING, RUNNING):
+            raise ValueError(f"run {run_id!r} has a live session in this service")
+        config = self._store.get_run_config(run_id)
+        session = MatchingSession(
+            run_id,
+            dataset=record.dataset,
+            seed=record.seed,
+            scale=record.scale,
+            config=config,
+            strategy=record.strategy,
+            error_rate=record.error_rate,
+            store=self._store,
+            prepared_provider=self.prepared,
+        )
+        with self._lock:
+            self._sessions[run_id] = session
+            if background:
+                self._futures[run_id] = self._executor.submit(session.run)
+        return run_id
+
+    def _session(self, run_id: str) -> MatchingSession:
+        with self._lock:
+            session = self._sessions.get(run_id)
+        if session is None:
+            raise KeyError(f"no live session for run {run_id!r}; use resume()")
+        return session
+
+    def step(self, run_id: str) -> bool:
+        """Advance a foreground session one human–machine loop."""
+        return self._session(run_id).step()
+
+    def status(self, run_id: str) -> str:
+        """Live session status, falling back to the ledger."""
+        with self._lock:
+            session = self._sessions.get(run_id)
+        if session is not None:
+            return session.status
+        record = self._store.get_run(run_id)
+        if record is None:
+            raise KeyError(f"unknown run {run_id!r}")
+        return record.status
+
+    def result(self, run_id: str, timeout: float | None = None) -> RempResult:
+        """The final result, driving or awaiting the session as needed.
+
+        Background sessions are awaited; foreground sessions are stepped
+        to completion in the calling thread; finished runs are read back
+        from the ledger.
+        """
+        with self._lock:
+            future = self._futures.get(run_id)
+            session = self._sessions.get(run_id)
+        if future is not None:
+            return future.result(timeout=timeout)
+        if session is not None:
+            return session.run()
+        stored = self._store.get_result(run_id)
+        if stored is None:
+            raise KeyError(f"run {run_id!r} has no stored result")
+        return stored
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        """Block until every background session has finished."""
+        with self._lock:
+            futures = list(self._futures.values())
+        for future in futures:
+            future.result(timeout=timeout)
+
+    def list_runs(self, dataset: str | None = None) -> list[RunRecord]:
+        return self._store.list_runs(dataset)

@@ -1,0 +1,381 @@
+"""SQLite-backed artifact store for Remp runs.
+
+One :class:`RunStore` file holds three kinds of durable state:
+
+* **Prepared states** — the offline artifacts of ``Remp.prepare`` keyed by
+  ``(dataset, seed, scale, config-hash)``, so repeated runs on the same
+  inputs skip candidate generation, attribute matching, pruning and
+  ER-graph construction entirely.
+* **Checkpoints** — one :class:`repro.core.LoopCheckpoint` per run,
+  overwritten after every batch of crowd answers; an interrupted run
+  resumes mid-loop without re-asking questions.
+* **A run ledger** — configuration, status, question counts and the final
+  :class:`repro.core.RempResult` of every run ever submitted, for later
+  querying (``repro runs list`` / ``repro runs show``).
+
+Uses only the stdlib ``sqlite3`` module.  A single connection is shared
+and guarded by a re-entrant lock, so one store instance may be used from
+the service's worker threads; payloads are stable JSON documents from
+:mod:`repro.store.serialize`, never pickles.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import uuid
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.config import RempConfig
+from repro.core.pipeline import LoopCheckpoint, PreparedState, RempResult
+from repro.store.serialize import (
+    checkpoint_from_doc,
+    checkpoint_to_doc,
+    config_from_doc,
+    config_hash,
+    config_to_doc,
+    prepared_state_from_doc,
+    prepared_state_to_doc,
+    result_from_doc,
+    result_to_doc,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS prepared_states (
+    dataset     TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    scale       REAL NOT NULL,
+    config_hash TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    created_at  TEXT NOT NULL,
+    PRIMARY KEY (dataset, seed, scale, config_hash)
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id          TEXT PRIMARY KEY,
+    dataset         TEXT NOT NULL,
+    seed            INTEGER NOT NULL,
+    scale           REAL NOT NULL,
+    config_hash     TEXT NOT NULL,
+    strategy        TEXT NOT NULL,
+    error_rate      REAL NOT NULL DEFAULT 0.0,
+    status          TEXT NOT NULL,
+    config_json     TEXT NOT NULL,
+    questions_asked INTEGER NOT NULL DEFAULT 0,
+    result_json     TEXT,
+    error           TEXT,
+    created_at      TEXT NOT NULL,
+    updated_at      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    run_id     TEXT PRIMARY KEY REFERENCES runs(run_id) ON DELETE CASCADE,
+    payload    TEXT NOT NULL,
+    updated_at TEXT NOT NULL
+);
+"""
+
+#: Run lifecycle states recorded in the ledger.
+RUN_STATUSES = ("queued", "preparing", "running", "done", "failed")
+
+
+def _now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(slots=True)
+class RunRecord:
+    """One ledger row (without the heavyweight payloads)."""
+
+    run_id: str
+    dataset: str
+    seed: int
+    scale: float
+    config_hash: str
+    strategy: str
+    error_rate: float
+    status: str
+    questions_asked: int
+    created_at: str
+    updated_at: str
+    error: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+
+class RunStore:
+    """Persistent store for prepared states, checkpoints and run results.
+
+    Parameters
+    ----------
+    path:
+        SQLite database file; parent directories are created on demand.
+        ``":memory:"`` gives an ephemeral store (handy in tests).
+    """
+
+    def __init__(self, path: str | Path = ":memory:"):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Prepared-state cache
+    # ------------------------------------------------------------------
+    def save_prepared(
+        self,
+        dataset: str,
+        seed: int,
+        scale: float,
+        config: RempConfig | None,
+        state: PreparedState,
+    ) -> str:
+        """Persist ``state`` under its cache key; returns the config hash."""
+        digest = config_hash(config)
+        payload = json.dumps(prepared_state_to_doc(state), sort_keys=True)
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO prepared_states"
+                " (dataset, seed, scale, config_hash, payload, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (dataset, seed, scale, digest, payload, _now()),
+            )
+        return digest
+
+    def load_prepared(
+        self, dataset: str, seed: int, scale: float, config: RempConfig | None
+    ) -> PreparedState | None:
+        """Round-trip a cached prepared state, or ``None`` on a miss."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM prepared_states"
+                " WHERE dataset = ? AND seed = ? AND scale = ? AND config_hash = ?",
+                (dataset, seed, scale, config_hash(config)),
+            ).fetchone()
+        if row is None:
+            return None
+        return prepared_state_from_doc(json.loads(row["payload"]))
+
+    def has_prepared(
+        self, dataset: str, seed: int, scale: float, config: RempConfig | None
+    ) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM prepared_states"
+                " WHERE dataset = ? AND seed = ? AND scale = ? AND config_hash = ?",
+                (dataset, seed, scale, config_hash(config)),
+            ).fetchone()
+        return row is not None
+
+    def list_prepared(self) -> list[tuple[str, int, float, str]]:
+        """Cache keys of every stored prepared state."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT dataset, seed, scale, config_hash FROM prepared_states"
+                " ORDER BY dataset, seed, scale, config_hash"
+            ).fetchall()
+        return [tuple(row) for row in rows]
+
+    def clear_prepared(self) -> int:
+        """Drop every cached prepared state; returns the number removed."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute("DELETE FROM prepared_states")
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Run ledger
+    # ------------------------------------------------------------------
+    def create_run(
+        self,
+        dataset: str,
+        seed: int,
+        scale: float,
+        config: RempConfig | None,
+        strategy: str = "remp",
+        error_rate: float = 0.0,
+        run_id: str | None = None,
+    ) -> str:
+        """Insert a ledger row in status ``queued``; returns the run id."""
+        run_id = run_id or uuid.uuid4().hex[:12]
+        now = _now()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO runs (run_id, dataset, seed, scale, config_hash,"
+                " strategy, error_rate, status, config_json, created_at, updated_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', ?, ?, ?)",
+                (
+                    run_id,
+                    dataset,
+                    seed,
+                    scale,
+                    config_hash(config),
+                    strategy,
+                    error_rate,
+                    json.dumps(config_to_doc(config or RempConfig()), sort_keys=True),
+                    now,
+                    now,
+                ),
+            )
+        return run_id
+
+    def update_run_status(self, run_id: str, status: str) -> None:
+        if status not in RUN_STATUSES:
+            raise ValueError(f"unknown run status {status!r}")
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE runs SET status = ?, updated_at = ? WHERE run_id = ?",
+                (status, _now(), run_id),
+            )
+
+    def finish_run(self, run_id: str, result: RempResult) -> None:
+        """Record the final result, mark ``done`` and drop the checkpoint."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE runs SET status = 'done', result_json = ?,"
+                " questions_asked = ?, updated_at = ? WHERE run_id = ?",
+                (
+                    json.dumps(result_to_doc(result), sort_keys=True),
+                    result.questions_asked,
+                    _now(),
+                    run_id,
+                ),
+            )
+            self._conn.execute("DELETE FROM checkpoints WHERE run_id = ?", (run_id,))
+
+    def fail_run(self, run_id: str, error: str) -> None:
+        """Mark ``failed``; the checkpoint is kept so the run can resume."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE runs SET status = 'failed', error = ?, updated_at = ?"
+                " WHERE run_id = ?",
+                (error, _now(), run_id),
+            )
+
+    def get_run(self, run_id: str) -> RunRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT run_id, dataset, seed, scale, config_hash, strategy,"
+                " error_rate, status, questions_asked, created_at, updated_at, error"
+                " FROM runs WHERE run_id = ?",
+                (run_id,),
+            ).fetchone()
+        return _run_record(row) if row is not None else None
+
+    def get_run_config(self, run_id: str) -> RempConfig | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT config_json FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return config_from_doc(json.loads(row["config_json"]))
+
+    def get_result(self, run_id: str) -> RempResult | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result_json FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None or row["result_json"] is None:
+            return None
+        return result_from_doc(json.loads(row["result_json"]))
+
+    def list_runs(self, dataset: str | None = None) -> list[RunRecord]:
+        query = (
+            "SELECT run_id, dataset, seed, scale, config_hash, strategy,"
+            " error_rate, status, questions_asked, created_at, updated_at, error"
+            " FROM runs"
+        )
+        params: tuple = ()
+        if dataset is not None:
+            query += " WHERE dataset = ?"
+            params = (dataset,)
+        query += " ORDER BY created_at, run_id"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [_run_record(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, run_id: str, checkpoint: LoopCheckpoint) -> None:
+        """Overwrite the run's checkpoint and its ledger question count."""
+        payload = json.dumps(checkpoint_to_doc(checkpoint), sort_keys=True)
+        now = _now()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO checkpoints (run_id, payload, updated_at)"
+                " VALUES (?, ?, ?)",
+                (run_id, payload, now),
+            )
+            self._conn.execute(
+                "UPDATE runs SET questions_asked = ?, updated_at = ? WHERE run_id = ?",
+                (checkpoint.questions_asked, now, run_id),
+            )
+
+    def load_checkpoint(self, run_id: str) -> LoopCheckpoint | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM checkpoints WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return checkpoint_from_doc(json.loads(row["payload"]))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Row counts for ``repro cache info`` and diagnostics."""
+        with self._lock:
+            prepared = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM prepared_states"
+            ).fetchone()["n"]
+            runs = self._conn.execute("SELECT COUNT(*) AS n FROM runs").fetchone()["n"]
+            by_status = dict(
+                self._conn.execute(
+                    "SELECT status, COUNT(*) FROM runs GROUP BY status"
+                ).fetchall()
+            )
+            checkpoints = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM checkpoints"
+            ).fetchone()["n"]
+        return {
+            "path": self.path,
+            "prepared_states": prepared,
+            "runs": runs,
+            "runs_by_status": by_status,
+            "checkpoints": checkpoints,
+        }
+
+
+def _run_record(row: sqlite3.Row) -> RunRecord:
+    return RunRecord(
+        run_id=row["run_id"],
+        dataset=row["dataset"],
+        seed=row["seed"],
+        scale=row["scale"],
+        config_hash=row["config_hash"],
+        strategy=row["strategy"],
+        error_rate=row["error_rate"],
+        status=row["status"],
+        questions_asked=row["questions_asked"],
+        created_at=row["created_at"],
+        updated_at=row["updated_at"],
+        error=row["error"],
+    )

@@ -44,7 +44,111 @@ def test_unknown_dataset_rejected():
         main(["run", "nonsense"])
 
 
+def test_run_without_dataset_or_resume_rejected(capsys):
+    assert main(["run"]) == 2
+    assert "dataset is required" in capsys.readouterr().err
+
+
 def test_parser_lists_all_experiments():
     parser = build_parser()
     help_text = parser.format_help()
     assert "experiment" in help_text
+    for command in ("serve-batch", "runs", "cache"):
+        assert command in help_text
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        return str(tmp_path / "store.db")
+
+    def test_run_with_store_records_ledger(self, store_path, capsys):
+        argv = ["run", "iimb", "--scale", "0.2", "--error-rate", "0",
+                "--store", store_path]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run=" in out
+
+        assert main(["runs", "list", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "iimb" in out
+        assert "done" in out
+
+    def test_second_run_hits_prepared_cache(self, store_path, capsys):
+        argv = ["serve-batch", "iimb", "--scale", "0.2", "--store", store_path]
+        assert main(argv) == 0
+        assert "1 misses" in capsys.readouterr().out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 hits, 0 misses" in out
+
+    def test_serve_batch_multiple_datasets(self, store_path, capsys):
+        argv = ["serve-batch", "iimb", "dblp_acm", "--scale", "0.2",
+                "--workers", "2", "--store", store_path]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "iimb" in out and "dblp_acm" in out
+        assert "F1=" in out
+
+    def test_runs_show(self, store_path, capsys):
+        main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",
+              "--store", store_path])
+        out = capsys.readouterr().out
+        run_id = out.split("run=")[1].split()[0]
+        assert main(["runs", "show", run_id, "--store", store_path]) == 0
+        detail = capsys.readouterr().out
+        assert f"run_id: {run_id}" in detail
+        assert "result:" in detail
+
+    def test_runs_show_unknown_run(self, store_path, capsys):
+        assert main(["runs", "show", "nope", "--store", store_path]) == 1
+
+    def test_cache_info_and_clear(self, store_path, capsys):
+        main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",
+              "--store", store_path])
+        capsys.readouterr()
+        assert main(["cache", "info", "--store", store_path]) == 0
+        assert "prepared states: 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--store", store_path]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_run_honors_repro_store_env(self, store_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", store_path)
+        assert main(["run", "iimb", "--scale", "0.2", "--error-rate", "0"]) == 0
+        assert "run=" in capsys.readouterr().out
+        assert main(["runs", "list"]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_resume_rejects_conflicting_flags(self, store_path, capsys):
+        assert main(["run", "iimb", "--resume", "rid", "--store", store_path]) == 2
+        assert "cannot be combined with --resume" in capsys.readouterr().err
+        assert main(["run", "--resume", "rid", "--budget", "5",
+                     "--store", store_path]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_resume_unknown_run_is_clean_error(self, store_path, capsys):
+        assert main(["run", "--resume", "nope", "--store", store_path]) == 1
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_resume_finished_run_is_clean_error(self, store_path, capsys):
+        main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",
+              "--store", store_path])
+        out = capsys.readouterr().out
+        run_id = out.split("run=")[1].split()[0]
+        assert main(["run", "--resume", run_id, "--store", store_path]) == 1
+        assert "already finished" in capsys.readouterr().err
+
+    def test_resume_via_cli(self, store_path, capsys):
+        from repro.service import MatchingService
+
+        # Interrupt a run after one loop, as if the process had died.
+        with MatchingService(store_path) as service:
+            run_id = service.submit(
+                "iimb", scale=0.2, error_rate=0.0, background=False
+            )
+            assert service.step(run_id)
+
+        assert main(["run", "--resume", run_id, "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert f"run={run_id}" in out
+        assert "F1=" in out

@@ -1,0 +1,134 @@
+"""Checkpoint/resume: interrupted runs continue without re-asking questions."""
+
+import pytest
+
+from repro.core import Remp
+from repro.crowd import CrowdPlatform
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("iimb", seed=0, scale=0.4)
+
+
+def _platform(bundle):
+    return CrowdPlatform.with_simulated_workers(
+        bundle.gold_matches, num_workers=30, error_rate=0.1, seed=7
+    )
+
+
+class _Killed(Exception):
+    pass
+
+
+def _run_killed_after(bundle, loops: int):
+    """Run until ``loops`` checkpoints were taken, then die mid-run."""
+    checkpoints = []
+
+    def sink(checkpoint):
+        checkpoints.append(checkpoint)
+        if len(checkpoints) == loops:
+            raise _Killed
+
+    platform = _platform(bundle)
+    with pytest.raises(_Killed):
+        Remp().run(bundle.kb1, bundle.kb2, platform, on_checkpoint=sink)
+    return checkpoints[-1]
+
+
+class TestAnswerLogReplay:
+    def test_labels_independent_of_ask_order(self, bundle):
+        questions = sorted(bundle.gold_matches)[:6]
+        first = _platform(bundle)
+        second = _platform(bundle)
+        for question in questions:
+            first.ask(question)
+        for question in reversed(questions):
+            second.ask(question)
+        for question in questions:
+            assert first.ask(question) == second.ask(question)
+
+    def test_export_load_round_trip(self, bundle):
+        platform = _platform(bundle)
+        questions = sorted(bundle.gold_matches)[:4]
+        originals = {q: platform.ask(q) for q in questions}
+        log = platform.export_answer_log()
+
+        replayed = _platform(bundle)
+        replayed.load_answer_log(log)
+        for question in questions:
+            assert replayed.ask(question) == originals[question]
+        # Replayed questions are never billed.
+        assert replayed.questions_asked == 0
+
+    def test_answer_log_property_view(self, bundle):
+        platform = _platform(bundle)
+        question = sorted(bundle.gold_matches)[0]
+        platform.ask(question)
+        assert question in platform.answer_log
+        assert len(platform.answer_log[question]) == 5
+
+
+class TestKillAndResume:
+    @pytest.fixture(scope="class")
+    def baseline(self, bundle):
+        return Remp().run(bundle.kb1, bundle.kb2, _platform(bundle))
+
+    def test_checkpoints_are_emitted(self, bundle, baseline):
+        seen = []
+        platform = _platform(bundle)
+        Remp().run(bundle.kb1, bundle.kb2, platform, on_checkpoint=seen.append)
+        assert len(seen) == baseline.num_loops
+        # Loop-phase billing never exceeds the final count (isolated-pair
+        # seeding may add questions after the last checkpoint).
+        assert seen[-1].questions_asked <= baseline.questions_asked
+        assert [c.next_loop_index for c in seen] == list(range(1, len(seen) + 1))
+
+    def test_resume_conserves_result_and_questions(self, bundle, baseline):
+        checkpoint = _run_killed_after(bundle, loops=2)
+
+        platform = _platform(bundle)
+        platform.load_answer_log(checkpoint.answer_log)
+        resumed = Remp().run(
+            bundle.kb1, bundle.kb2, platform, resume_from=checkpoint
+        )
+        assert resumed.matches == baseline.matches
+        assert resumed.questions_asked == baseline.questions_asked
+        assert resumed.num_loops == baseline.num_loops
+        assert [r.questions for r in resumed.history] == [
+            r.questions for r in baseline.history
+        ]
+
+    def test_resume_asks_no_duplicate_questions(self, bundle, baseline):
+        checkpoint = _run_killed_after(bundle, loops=2)
+        replayed = {tuple(entry["question"]) for entry in checkpoint.answer_log}
+
+        platform = _platform(bundle)
+        platform.load_answer_log(checkpoint.answer_log)
+        resumed = Remp().run(
+            bundle.kb1, bundle.kb2, platform, resume_from=checkpoint
+        )
+        # The resumed platform only billed questions the first run never asked.
+        assert platform.questions_asked == resumed.questions_asked - len(replayed)
+        billed = set(platform.answer_log) - replayed
+        assert not billed & replayed
+
+    def test_resume_from_final_checkpoint_skips_loops(self, bundle, baseline):
+        seen = []
+        platform = _platform(bundle)
+        Remp().run(bundle.kb1, bundle.kb2, platform, on_checkpoint=seen.append)
+        final = seen[-1]
+
+        fresh = _platform(bundle)
+        fresh.load_answer_log(final.answer_log)
+        resumed = Remp().run(bundle.kb1, bundle.kb2, fresh, resume_from=final)
+        assert resumed.matches == baseline.matches
+        assert resumed.num_loops == baseline.num_loops
+
+
+class TestBillingInvariant:
+    def test_result_counts_match_platform_billing(self, bundle):
+        platform = _platform(bundle)
+        result = Remp().run(bundle.kb1, bundle.kb2, platform)
+        assert result.questions_asked == platform.questions_asked

@@ -1,0 +1,219 @@
+"""Tests for the persistent run store and its stable serialization."""
+
+import json
+
+import pytest
+
+from repro.core import Remp, RempConfig
+from repro.core.pipeline import LoopCheckpoint, LoopRecord, RempResult
+from repro.datasets import load_dataset
+from repro.kb import KnowledgeBase, kb_from_doc, kb_to_doc
+from repro.store import (
+    RunStore,
+    checkpoint_from_doc,
+    checkpoint_to_doc,
+    config_from_doc,
+    config_hash,
+    config_to_doc,
+    prepared_state_from_doc,
+    prepared_state_to_doc,
+    result_from_doc,
+    result_to_doc,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("iimb", seed=0, scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def state(bundle):
+    return Remp().prepare(bundle.kb1, bundle.kb2)
+
+
+class TestKBSerialization:
+    def test_round_trip_equality(self, bundle):
+        doc = kb_to_doc(bundle.kb1)
+        rebuilt = kb_from_doc(doc)
+        assert kb_to_doc(rebuilt) == doc
+        assert rebuilt.entities == bundle.kb1.entities
+        assert rebuilt.num_attribute_triples == bundle.kb1.num_attribute_triples
+        assert rebuilt.num_relationship_triples == bundle.kb1.num_relationship_triples
+
+    def test_doc_is_insertion_order_independent(self):
+        a = KnowledgeBase("kb")
+        a.add_entity("e1", label="one")
+        a.add_attribute_triple("e1", "year", 1990)
+        a.add_relationship_triple("e1", "knows", "e2")
+        b = KnowledgeBase("kb")
+        b.add_relationship_triple("e1", "knows", "e2")
+        b.add_attribute_triple("e1", "year", 1990)
+        b.add_entity("e1", label="one")
+        assert kb_to_doc(a) == kb_to_doc(b)
+
+    def test_mixed_literal_types_survive(self):
+        kb = KnowledgeBase("kb")
+        kb.add_attribute_triple("e", "a", 3)
+        kb.add_attribute_triple("e", "a", "3")
+        kb.add_attribute_triple("e", "a", 2.5)
+        rebuilt = kb_from_doc(kb_to_doc(kb))
+        assert rebuilt.attribute_values("e", "a") == {3, "3", 2.5}
+
+
+class TestConfigHash:
+    def test_none_matches_default(self):
+        assert config_hash(None) == config_hash(RempConfig())
+
+    def test_sensitive_to_parameters(self):
+        assert config_hash(RempConfig(mu=5)) != config_hash(RempConfig())
+
+    def test_config_round_trip(self):
+        config = RempConfig(mu=7, tau=0.8, budget=42)
+        rebuilt = config_from_doc(config_to_doc(config))
+        assert rebuilt == config
+        assert config_hash(rebuilt) == config_hash(config)
+
+
+class TestPreparedStateSerialization:
+    def test_round_trip_is_byte_stable(self, state):
+        doc = prepared_state_to_doc(state)
+        blob = json.dumps(doc, sort_keys=True)
+        rebuilt = prepared_state_from_doc(json.loads(blob))
+        assert json.dumps(prepared_state_to_doc(rebuilt), sort_keys=True) == blob
+
+    def test_round_trip_preserves_artifacts(self, state):
+        rebuilt = prepared_state_from_doc(prepared_state_to_doc(state))
+        assert rebuilt.retained == state.retained
+        assert rebuilt.priors == state.priors
+        assert rebuilt.isolated == state.isolated
+        assert rebuilt.signatures == state.signatures
+        assert rebuilt.vector_index.vectors == state.vector_index.vectors
+        assert rebuilt.graph.vertices == state.graph.vertices
+        assert rebuilt.graph.groups == state.graph.groups
+        assert rebuilt.candidates.pairs == state.candidates.pairs
+        assert rebuilt.candidates.initial_matches == state.candidates.initial_matches
+        assert rebuilt.attribute_matches == state.attribute_matches
+
+    def test_unknown_version_rejected(self, state):
+        doc = prepared_state_to_doc(state)
+        doc["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            prepared_state_from_doc(doc)
+
+
+class TestRunStore:
+    def test_prepared_cache_hit_and_miss(self, tmp_path, state):
+        with RunStore(tmp_path / "store.db") as store:
+            assert store.load_prepared("iimb", 0, 0.2, None) is None
+            store.save_prepared("iimb", 0, 0.2, None, state)
+            assert store.has_prepared("iimb", 0, 0.2, None)
+            cached = store.load_prepared("iimb", 0, 0.2, None)
+            assert cached.retained == state.retained
+            assert cached.priors == state.priors
+            # Different key components miss.
+            assert store.load_prepared("iimb", 1, 0.2, None) is None
+            assert store.load_prepared("iimb", 0, 0.4, None) is None
+            assert store.load_prepared("iimb", 0, 0.2, RempConfig(mu=3)) is None
+
+    def test_prepared_cache_survives_reopen(self, tmp_path, state):
+        path = tmp_path / "store.db"
+        with RunStore(path) as store:
+            store.save_prepared("iimb", 0, 0.2, None, state)
+        with RunStore(path) as store:
+            assert store.has_prepared("iimb", 0, 0.2, None)
+
+    def test_clear_prepared(self, tmp_path, state):
+        with RunStore(tmp_path / "store.db") as store:
+            store.save_prepared("iimb", 0, 0.2, None, state)
+            assert store.clear_prepared() == 1
+            assert not store.has_prepared("iimb", 0, 0.2, None)
+
+    def test_run_ledger_lifecycle(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, RempConfig(mu=5), error_rate=0.1)
+            record = store.get_run(run_id)
+            assert record.status == "queued"
+            assert record.error_rate == 0.1
+            assert store.get_run_config(run_id).mu == 5
+            store.update_run_status(run_id, "running")
+            result = RempResult(matches={("a", "b")}, questions_asked=3, num_loops=1)
+            store.finish_run(run_id, result)
+            record = store.get_run(run_id)
+            assert record.status == "done"
+            assert record.questions_asked == 3
+            assert store.get_result(run_id).matches == {("a", "b")}
+            assert [r.run_id for r in store.list_runs()] == [run_id]
+
+    def test_fail_run_keeps_checkpoint(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, None)
+            checkpoint = LoopCheckpoint(
+                next_loop_index=2,
+                questions_asked=4,
+                history=[],
+                loop_state={
+                    "priors": [],
+                    "labeled_matches": [],
+                    "inferred_matches": [],
+                    "resolved_matches": [],
+                    "resolved_non_matches": [],
+                },
+                answer_log=[],
+            )
+            store.save_checkpoint(run_id, checkpoint)
+            store.fail_run(run_id, "boom")
+            assert store.get_run(run_id).status == "failed"
+            assert store.load_checkpoint(run_id) is not None
+            assert store.get_run(run_id).questions_asked == 4
+
+    def test_unknown_status_rejected(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, None)
+            with pytest.raises(ValueError, match="unknown run status"):
+                store.update_run_status(run_id, "exploded")
+
+
+class TestCheckpointSerialization:
+    def test_round_trip(self):
+        checkpoint = LoopCheckpoint(
+            next_loop_index=3,
+            questions_asked=12,
+            history=[
+                LoopRecord(
+                    loop_index=0,
+                    questions=[("a", "b")],
+                    labeled_matches=1,
+                    labeled_non_matches=0,
+                    unresolved_questions=0,
+                    inferred_matches_so_far=2,
+                )
+            ],
+            loop_state={
+                "priors": [["a", "b", 0.7]],
+                "labeled_matches": [["a", "b"]],
+                "inferred_matches": [],
+                "resolved_matches": [["a", "b"]],
+                "resolved_non_matches": [],
+            },
+            answer_log=[
+                {"question": ["a", "b"], "worker_id": "w0", "label": True,
+                 "worker_quality": 0.95}
+            ],
+        )
+        rebuilt = checkpoint_from_doc(checkpoint_to_doc(checkpoint))
+        assert rebuilt == checkpoint
+
+    def test_result_round_trip(self):
+        result = RempResult(
+            matches={("a", "b"), ("c", "d")},
+            questions_asked=5,
+            num_loops=2,
+            history=[],
+            labeled_matches={("a", "b")},
+            inferred_matches={("c", "d")},
+            isolated_matches=set(),
+            non_matches={("a", "d")},
+        )
+        rebuilt = result_from_doc(result_to_doc(result))
+        assert rebuilt == result
