@@ -15,6 +15,9 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.service` — the concurrent matching service: deduplicated
   ``prepare()`` through the cache and thread-pooled sessions with an
   explicit ``submit / step / status / result`` lifecycle
+* :mod:`repro.partition` — partitioned parallel execution: the ER graph
+  sharded into entity-closure components and run across a process pool,
+  with per-shard checkpoints and a deterministic merge
 """
 
 from repro.core import Remp, RempConfig
@@ -25,7 +28,7 @@ from repro.kb import KnowledgeBase
 from repro.service import MatchingService
 from repro.store import RunStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Remp",

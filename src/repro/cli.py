@@ -8,7 +8,13 @@ Commands
     Run the Remp pipeline on one dataset and report quality and cost.
     With ``--store`` the run is resumable: offline work comes from the
     prepared-state cache, every loop checkpoints, and ``--resume RUN_ID``
-    continues an interrupted run without re-asking questions.
+    continues an interrupted run without re-asking questions.  With
+    ``--workers N`` the ER graph is sharded into entity-closure
+    components and executed on ``N`` processes (``repro.partition``),
+    with per-shard checkpoints and a live per-partition status line; the
+    merged result is identical for every ``N``.
+``partition``
+    Inspect the shard layout (``partition info DATASET``).
 ``serve-batch``
     Run several datasets concurrently through the matching service.
 ``runs``
@@ -34,6 +40,12 @@ from repro.crowd import CrowdPlatform
 from repro.datasets import DATASET_NAMES, load_dataset
 from repro.eval import evaluate_matches
 from repro.kb import describe, save_kb_json
+from repro.partition import (
+    CrowdSpec,
+    ParallelRunner,
+    ShardProgressPrinter,
+    partition_state,
+)
 from repro.service import MatchingService
 from repro.store import RunStore
 
@@ -57,6 +69,9 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.dataset is None and args.resume is None:
         print("run: a dataset is required unless --resume is given", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("run: --workers must be at least 1", file=sys.stderr)
         return 2
     if args.resume:
         # A resumed run continues under its stored configuration; flags
@@ -82,6 +97,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.store or args.resume or os.environ.get("REPRO_STORE"):
         return _run_via_service(args, config)
     bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    if args.workers is not None:
+        # Partitioned in-process run: shard the ER graph and fan the
+        # shards onto a worker pool, streaming per-partition progress.
+        state = Remp(config, seed=args.seed).prepare(bundle.kb1, bundle.kb2)
+        crowd = CrowdSpec(
+            truth=bundle.gold_matches, error_rate=args.error_rate, seed=args.seed
+        )
+        progress = ShardProgressPrinter()
+        runner = ParallelRunner(
+            config, seed=args.seed, workers=args.workers, on_event=progress
+        )
+        try:
+            result = runner.run(state, crowd)
+        finally:
+            progress.close()
+        _print_run_summary(result, bundle.gold_matches)
+        return 0
     if args.error_rate > 0:
         platform = CrowdPlatform.with_simulated_workers(
             bundle.gold_matches, error_rate=args.error_rate, seed=args.seed
@@ -108,10 +140,20 @@ def _print_run_summary(result, gold_matches, run_id: str | None = None) -> None:
 
 def _run_via_service(args: argparse.Namespace, config: RempConfig) -> int:
     """Durable variant of ``run``: cached prepare, checkpoints, resume."""
+    # A resumed run may turn out to be partitioned (the ledger remembers);
+    # give it a printer too — monolithic sessions simply emit no events.
+    progress = (
+        ShardProgressPrinter() if args.workers is not None or args.resume else None
+    )
     with MatchingService(_store_path(args), max_workers=1) as service:
         if args.resume:
             try:
-                run_id = service.resume(args.resume, background=False)
+                run_id = service.resume(
+                    args.resume,
+                    background=False,
+                    workers=args.workers,
+                    on_event=progress,
+                )
             except (KeyError, ValueError) as exc:
                 message = exc.args[0] if exc.args else str(exc)
                 print(f"run: cannot resume: {message}", file=sys.stderr)
@@ -126,9 +168,15 @@ def _run_via_service(args: argparse.Namespace, config: RempConfig) -> int:
                 config=config,
                 error_rate=args.error_rate,
                 background=False,
+                workers=args.workers,
+                on_event=progress,
             )
             dataset, seed, scale = args.dataset, args.seed, args.scale
-        result = service.result(run_id)
+        try:
+            result = service.result(run_id)
+        finally:
+            if progress is not None:
+                progress.close()
         bundle = load_dataset(dataset, seed=seed, scale=scale)
         _print_run_summary(result, bundle.gold_matches, run_id=run_id)
     return 0
@@ -223,6 +271,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_partition(args: argparse.Namespace) -> int:
+    """``partition info``: show the shard layout for one dataset."""
+    bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    state = Remp(RempConfig(), seed=args.seed).prepare(bundle.kb1, bundle.kb2)
+    kwargs = {}
+    if args.shards is not None:
+        kwargs["target_shards"] = args.shards
+    plan = partition_state(state, max_shard_size=args.max_shard_size, **kwargs)
+    print(f"== {args.dataset} seed={args.seed} scale={args.scale}")
+    print(plan.describe())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -284,7 +345,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="RUN_ID",
         help="resume an interrupted run from its checkpoint",
     )
+    p_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="partitioned execution: shard the ER graph and run on N"
+        " processes (the merged result is identical for every N)",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_partition = sub.add_parser("partition", help="inspect the partition layer")
+    partition_sub = p_partition.add_subparsers(dest="partition_command", required=True)
+    p_partition_info = partition_sub.add_parser(
+        "info", help="show the shard layout for a dataset"
+    )
+    p_partition_info.add_argument("dataset", choices=DATASET_NAMES)
+    p_partition_info.add_argument("--scale", type=float, default=1.0)
+    p_partition_info.add_argument("--seed", type=int, default=0)
+    p_partition_info.add_argument("--shards", type=int, default=None,
+                                  help="target number of graph shards")
+    p_partition_info.add_argument("--max-shard-size", type=int, default=None,
+                                  help="cap on candidate pairs per graph shard")
+    p_partition.set_defaults(func=_cmd_partition)
 
     p_serve = sub.add_parser(
         "serve-batch", help="run several datasets concurrently via the service"

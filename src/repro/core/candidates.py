@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 
 from repro.kb.model import KnowledgeBase
 from repro.text.normalize import normalize_label
-from repro.text.similarity import jaccard
 
 Pair = tuple[str, str]
 
@@ -64,7 +63,15 @@ def generate_candidates(
     A pair enters ``M_c`` when the Jaccard similarity of its normalized
     label token sets reaches ``threshold``; the similarity becomes the
     pair's prior match probability.  Pairs sharing an exactly equal raw
-    label are additionally recorded as initial matches ``M_in``.
+    label are additionally recorded as initial matches ``M_in`` — and an
+    exact raw-label pair is admitted with prior 1.0 even when the label
+    normalizes to an *empty* token set (all-punctuation or non-Latin
+    labels), which token-based blocking alone would silently drop.
+
+    The Jaccard scores are accumulated straight off the inverted index:
+    one pass over an entity's postings counts ``|T1 ∩ T2|`` per partner,
+    and ``|T1 ∪ T2| = |T1| + |T2| − |T1 ∩ T2|`` finishes the coefficient
+    without materializing a set intersection/union per candidate pair.
     """
     tokens1, _ = _token_index(kb1)
     tokens2, inverted2 = _token_index(kb2)
@@ -76,20 +83,28 @@ def generate_candidates(
 
     result = CandidateSet()
     for entity1, tset1 in tokens1.items():
-        seen: set[str] = set()
+        intersections: dict[str, int] = {}
         for token in tset1:
-            seen.update(inverted2.get(token, ()))
-        for entity2 in seen:
-            sim = jaccard(tset1, tokens2[entity2])
+            for entity2 in inverted2.get(token, ()):
+                intersections[entity2] = intersections.get(entity2, 0) + 1
+        size1 = len(tset1)
+        for entity2, shared in intersections.items():
+            sim = shared / (size1 + len(tokens2[entity2]) - shared)
             if sim >= threshold:
                 pair = (entity1, entity2)
                 result.pairs.add(pair)
                 result.priors[pair] = sim
 
-    for entity1 in tokens1:
+    for entity1 in kb1.entities:
         for label in kb1.labels(entity1):
             for entity2 in labels2.get(label, ()):
                 pair = (entity1, entity2)
                 if pair in result.pairs:
+                    result.initial_matches.add(pair)
+                elif entity1 not in tokens1 or entity2 not in tokens2:
+                    # Identical raw labels that blocking never saw: at
+                    # least one side normalizes to no tokens at all.
+                    result.pairs.add(pair)
+                    result.priors[pair] = 1.0
                     result.initial_matches.add(pair)
     return result

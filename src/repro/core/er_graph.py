@@ -95,11 +95,16 @@ class ERGraph:
         """Vertices with no edges in either direction."""
         return {v for v in self.vertices if not self.groups.get(v)}
 
-    def connected_components(self) -> list[set[Pair]]:
-        """Components of the undirected view (inverse edges make adjacency
-        symmetric, so a plain out-edge BFS suffices)."""
+    def iter_components(self) -> Iterator[set[Pair]]:
+        """Lazily yield the weakly-connected components of the graph.
+
+        Components of the undirected view (inverse edges make adjacency
+        symmetric, so a plain out-edge BFS suffices).  Isolated vertices
+        come out as singleton components.  The yield order is unspecified;
+        callers needing determinism sort the components themselves (see
+        :mod:`repro.partition`).
+        """
         remaining = set(self.vertices)
-        components: list[set[Pair]] = []
         while remaining:
             seed = remaining.pop()
             component = {seed}
@@ -111,8 +116,31 @@ class ERGraph:
                         remaining.discard(neighbor)
                         component.add(neighbor)
                         frontier.append(neighbor)
-            components.append(component)
-        return components
+            yield component
+
+    def connected_components(self) -> list[set[Pair]]:
+        """All weakly-connected components (see :meth:`iter_components`)."""
+        return list(self.iter_components())
+
+    def subgraph(self, vertices: set[Pair]) -> "ERGraph":
+        """The induced subgraph over ``vertices``.
+
+        Neighbor groups are intersected with ``vertices``; groups that
+        become empty are dropped.  When ``vertices`` is a union of whole
+        components, every group survives intact, so the slice loses no
+        propagation paths — the property :mod:`repro.partition` relies on.
+        """
+        kept = self.vertices & vertices
+        sub = ERGraph(vertices=kept)
+        for vertex in kept:
+            by_label = {
+                label: members & kept
+                for label, members in self.groups.get(vertex, {}).items()
+                if members & kept
+            }
+            if by_label:
+                sub.groups[vertex] = by_label
+        return sub
 
 
 def build_er_graph(

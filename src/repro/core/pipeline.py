@@ -61,6 +61,37 @@ class PreparedState:
     priors: dict[Pair, float]
     isolated: set[Pair]
 
+    def restrict(self, vertices: set[Pair], *, isolated: set[Pair] | None = None) -> "PreparedState":
+        """A self-contained slice of this state over ``vertices``.
+
+        The KBs, candidate set and attribute matches are shared by
+        reference (they are read-only for the loop, and consistency
+        estimation deliberately keeps the *global* ``M_in`` so a slice
+        sees the same relationship statistics as the whole).  The
+        retained set, ER graph, vectors, signatures and priors are cut
+        down to ``vertices``.  When ``vertices`` is a union of whole
+        weakly-connected components the slice is closed under
+        propagation — running the loop on it resolves exactly the pairs
+        the monolithic loop could resolve through those components.
+        """
+        kept = self.retained & vertices
+        # Index by the kept pairs (vectors/signatures/priors are total
+        # maps over the retained set), so slicing S shards costs one
+        # pass over the state rather than S full-dict scans.
+        vectors = self.vector_index.vectors
+        return PreparedState(
+            kb1=self.kb1,
+            kb2=self.kb2,
+            candidates=self.candidates,
+            attribute_matches=self.attribute_matches,
+            vector_index=VectorIndex({pair: vectors[pair] for pair in kept}),
+            retained=kept,
+            graph=self.graph.subgraph(kept),
+            signatures={pair: self.signatures[pair] for pair in kept},
+            priors={pair: self.priors[pair] for pair in kept},
+            isolated=set(isolated) if isolated is not None else self.isolated & kept,
+        )
+
 
 @dataclass(slots=True)
 class LoopRecord:
@@ -205,9 +236,35 @@ class Remp:
         truth inference left it unresolved, re-used by the isolated-pair
         classifier, or replayed on resume — costs nothing extra.
         """
-        config = self.config
         state = state or self.prepare(kb1, kb2)
+        loop_state, history, loop_questions = self.run_loop_phase(
+            state, platform, strategy, resume_from=resume_from, on_checkpoint=on_checkpoint
+        )
+        billed_after_loop = platform.questions_asked
+        isolated_matches, _ = self._classify_isolated(state, loop_state, platform)
+        questions_asked = loop_questions + (platform.questions_asked - billed_after_loop)
+        return assemble_result(loop_state, isolated_matches, questions_asked, history)
+
+    def run_loop_phase(
+        self,
+        state: PreparedState,
+        platform: CrowdPlatform,
+        strategy: str = "remp",
+        resume_from: LoopCheckpoint | None = None,
+        on_checkpoint: CheckpointSink | None = None,
+    ) -> tuple["LoopState", list[LoopRecord], int]:
+        """Drive the human–machine loop to convergence (no isolated pairs).
+
+        The loop half of :meth:`run`, exposed so :mod:`repro.partition`
+        can execute it per shard and classify isolated pairs against the
+        merged resolutions afterwards.  Ends with the final propagation
+        pass for the last batch of labels; returns the finished loop
+        state, the loop history and the questions billed so far
+        (including those recorded in ``resume_from``).
+        """
+        config = self.config
         loop_state = self._make_loop_state(state)
+        kb1, kb2 = state.kb1, state.kb2
 
         history: list[LoopRecord] = []
         base_questions = 0
@@ -243,10 +300,8 @@ class Remp:
                 )
         # Final propagation pass for the last batch of labels.
         loop_state.propagate(kb1, kb2)
-
-        isolated_matches, _ = self._classify_isolated(state, loop_state, platform)
         questions_asked = base_questions + (platform.questions_asked - billed_at_start)
-        return assemble_result(loop_state, isolated_matches, questions_asked, history)
+        return loop_state, history, questions_asked
 
     def _loop_once(
         self,
@@ -582,6 +637,37 @@ def assemble_result(
         isolated_matches=isolated_matches,
         non_matches=set(loop_state.resolved_non_matches),
     )
+
+
+def merge_loop_snapshots(state: PreparedState, snapshots: list[dict]) -> dict:
+    """Combine per-shard :meth:`LoopState.snapshot` documents into one.
+
+    Priors start from the prepared state's and are overlaid with each
+    snapshot's (shard priors cover disjoint retained subsets, so later
+    snapshots never clobber earlier ones); the resolution sets are
+    unioned, with resolved matches winning over a non-match recorded for
+    the same pair by another shard.  The result restores into a
+    :class:`LoopState` over the *full* ``state`` — the training input for
+    the isolated-pair classification phase of :mod:`repro.partition`.
+    """
+    priors: dict[Pair, float] = dict(state.priors)
+    labeled: set[Pair] = set()
+    inferred: set[Pair] = set()
+    resolved: set[Pair] = set()
+    non_matches: set[Pair] = set()
+    for snapshot in snapshots:
+        priors.update({(left, right): p for left, right, p in snapshot["priors"]})
+        labeled.update((l, r) for l, r in snapshot["labeled_matches"])
+        inferred.update((l, r) for l, r in snapshot["inferred_matches"])
+        resolved.update((l, r) for l, r in snapshot["resolved_matches"])
+        non_matches.update((l, r) for l, r in snapshot["resolved_non_matches"])
+    return {
+        "priors": sorted([left, right, p] for (left, right), p in priors.items()),
+        "labeled_matches": sorted(map(list, labeled)),
+        "inferred_matches": sorted(map(list, inferred)),
+        "resolved_matches": sorted(map(list, resolved)),
+        "resolved_non_matches": sorted(map(list, non_matches - resolved)),
+    }
 
 
 #: Backward-compatible alias from before LoopState became public API.

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.core.config import RempConfig
 from repro.core.consistency import Consistency
-from repro.core.er_graph import ERGraph, RelPair, value_sets
+from repro.core.er_graph import ERGraph, RelPair
 from repro.kb.model import KnowledgeBase
 
 Pair = tuple[str, str]

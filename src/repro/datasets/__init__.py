@@ -8,6 +8,7 @@ entity-type mix, label noise, missing labels and the share of isolated
 entities.  See DESIGN.md §3 for the substitution rationale.
 """
 
+from repro.datasets.clustered import clustered_bundle
 from repro.datasets.synthesis import (
     AttributeSpec,
     DatasetBundle,
@@ -26,6 +27,7 @@ __all__ = [
     "NoiseConfig",
     "WorldConfig",
     "DatasetBundle",
+    "clustered_bundle",
     "generate_dataset",
     "load_dataset",
     "DATASET_NAMES",

@@ -6,11 +6,12 @@ import os
 from dataclasses import dataclass, field
 
 from repro.core import Remp, RempConfig
-from repro.core.pipeline import PreparedState
+from repro.core.pipeline import PreparedState, RempResult
 from repro.crowd import CrowdPlatform
 from repro.datasets import load_dataset
 from repro.datasets.registry import DISPLAY_NAMES
 from repro.datasets.synthesis import DatasetBundle
+from repro.partition import CrowdSpec, ParallelRunner
 from repro.store import RunStore, config_hash
 
 Pair = tuple[str, str]
@@ -133,6 +134,41 @@ def error_rate_platform(
         workers_per_question=WORKERS_PER_QUESTION,
         seed=seed,
     )
+
+
+def partitioned_result(
+    bundle: DatasetBundle,
+    *,
+    workers: int = 1,
+    config: RempConfig | None = None,
+    strategy: str = "remp",
+    seed: int = 0,
+    error_rate: float = 0.0,
+    max_shard_size: int | None = None,
+    target_shards: int | None = None,
+    on_event=None,
+) -> RempResult:
+    """Run a bundle through the partition layer (:mod:`repro.partition`).
+
+    Offline work comes from the shared prepared-state cache; the crowd
+    is the service's (oracle at ``error_rate`` 0, else seeded simulated
+    workers, derived per shard).  The merged result is identical for
+    every ``workers`` value — experiments and benchmarks can fan out on
+    all cores without perturbing reported numbers.
+    """
+    state = prepared_state(bundle, config)
+    crowd = CrowdSpec(truth=bundle.gold_matches, error_rate=error_rate, seed=seed)
+    kwargs = {} if target_shards is None else {"target_shards": target_shards}
+    runner = ParallelRunner(
+        config,
+        seed=seed,
+        workers=workers,
+        strategy=strategy,
+        max_shard_size=max_shard_size,
+        on_event=on_event,
+        **kwargs,
+    )
+    return runner.run(state, crowd)
 
 
 def load(dataset: str, seed: int = 0, scale: float = 1.0) -> DatasetBundle:

@@ -1,0 +1,51 @@
+"""Partitioned parallel execution of the Remp pipeline.
+
+The ER graph decomposes into weakly-connected components that relational
+match propagation can never bridge; this package shards a prepared state
+along that structure and runs the shards concurrently:
+
+* :mod:`repro.partition.partitioner` — component discovery, size-capped
+  packing into balanced graph shards, and the classifier-only shard for
+  isolated pairs.
+* :mod:`repro.partition.runner` — :class:`ParallelRunner`: a
+  ``multiprocessing`` pool with per-shard crowd platforms derived from
+  ``(seed, shard_id)``, budget splitting, per-shard checkpointing through
+  :mod:`repro.store`, and a deterministic merger whose output is
+  identical for every worker count.
+* :mod:`repro.partition.progress` — live per-partition status rendering
+  for the CLI.
+"""
+
+from repro.partition.partitioner import (
+    DEFAULT_TARGET_SHARDS,
+    PartitionPlan,
+    Shard,
+    entity_closure_components,
+    pack_components,
+    partition_state,
+)
+from repro.partition.progress import ShardProgressPrinter
+from repro.partition.runner import (
+    CrowdSpec,
+    ParallelRunner,
+    ShardEvent,
+    merge_shard_results,
+    shard_seed,
+    split_budget,
+)
+
+__all__ = [
+    "DEFAULT_TARGET_SHARDS",
+    "CrowdSpec",
+    "ParallelRunner",
+    "PartitionPlan",
+    "Shard",
+    "ShardEvent",
+    "ShardProgressPrinter",
+    "entity_closure_components",
+    "merge_shard_results",
+    "pack_components",
+    "partition_state",
+    "shard_seed",
+    "split_budget",
+]

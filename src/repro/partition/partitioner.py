@@ -1,0 +1,296 @@
+"""Sharding the ER graph into independently-runnable partitions.
+
+Two mechanisms couple candidate pairs during the human–machine loop:
+
+* **relational match propagation**, which only ever flows along ER-graph
+  edges — so weakly-connected components are propagation-independent;
+* **the 1:1 competitor demotion**, which resolves every pair *sharing a
+  KB entity* with a confirmed match as a non-match — and entity-sharing
+  pairs may sit in different graph components.
+
+A partition is therefore only closed under the loop when it unions graph
+components up to their *entity closure*: a union–find links pairs that
+are graph-adjacent, share their KB1 entity, or share their KB2 entity.
+The partitioner:
+
+* puts every entity-closure component whole into exactly one **graph
+  shard**, packing small components together (longest-processing-time
+  greedy, capped at a maximum shard size) so shards come out balanced;
+  isolated pairs that share an entity with a component ride along in the
+  shard's retained set — competitor demotion must be able to reach them
+  — but are never classified there;
+* routes **all isolated pairs** (riders and the truly disconnected rest)
+  into classifier-only shards that run after the graph shards, training
+  on the merged resolutions — the same data the monolithic isolated-pair
+  classifier sees.
+
+The layout is a pure function of the prepared state and the partition
+parameters — never of the worker count — which is what makes a
+partitioned run reproducible across pool sizes (``workers=4`` merges to
+the same result as ``workers=1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.pipeline import PreparedState
+
+Pair = tuple[str, str]
+
+#: Shard kinds.
+GRAPH = "graph"
+ISOLATED = "isolated"
+
+#: Default number of graph shards the packer aims for.  Deliberately a
+#: constant rather than the worker count: the partition layout must not
+#: depend on pool size, or results would change with it.
+DEFAULT_TARGET_SHARDS = 8
+
+
+class _UnionFind:
+    """Path-halving union–find over candidate pairs."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Pair, Pair] = {}
+
+    def find(self, item: Pair) -> Pair:
+        parent = self._parent.setdefault(item, item)
+        while parent != item:
+            grandparent = self._parent[parent]
+            self._parent[item] = grandparent
+            item, parent = parent, self._parent.setdefault(grandparent, grandparent)
+        return item
+
+    def union(self, a: Pair, b: Pair) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Deterministic root choice keeps grouping order-independent.
+            if root_b < root_a:
+                root_a, root_b = root_b, root_a
+            self._parent[root_b] = root_a
+
+
+def entity_closure_components(state: PreparedState) -> list[set[Pair]]:
+    """Partition the retained pairs into loop-independent groups.
+
+    Pairs land in the same group when connected through any chain of
+    ER-graph edges or shared KB entities.  Groups are the finest
+    partition the human–machine loop cannot leak across: propagation
+    follows edges, competitor demotion follows shared entities.
+    """
+    uf = _UnionFind()
+    by_left: dict[str, Pair] = {}
+    by_right: dict[str, Pair] = {}
+    for pair in state.retained:
+        uf.find(pair)
+        for key, bucket in ((pair[0], by_left), (pair[1], by_right)):
+            anchor = bucket.setdefault(key, pair)
+            if anchor != pair:
+                uf.union(anchor, pair)
+    for vertex, by_label in state.graph.groups.items():
+        for members in by_label.values():
+            for neighbor in members:
+                uf.union(vertex, neighbor)
+    groups: dict[Pair, set[Pair]] = {}
+    for pair in state.retained:
+        groups.setdefault(uf.find(pair), set()).add(pair)
+    return list(groups.values())
+
+
+@dataclass(slots=True)
+class Shard:
+    """A lightweight descriptor of one partition.
+
+    ``kind`` is :data:`GRAPH` (runs the human–machine loop) or
+    :data:`ISOLATED` (classifier-only, executed after the graph shards).
+    Shards deliberately carry no :class:`PreparedState`: worker
+    processes inherit the base state once (for free under ``fork``) and
+    materialize their slice locally via :meth:`slice`, so shipping a
+    shard across a process boundary costs only its vertex list.
+    """
+
+    shard_id: int
+    kind: str
+    vertices: tuple[Pair, ...]
+    num_components: int
+    num_edges: int = 0
+    #: Isolated pairs riding along in a graph shard (entity-linked, so
+    #: competitor demotion must reach them); never askable here, and
+    #: classified later by an isolated shard.
+    num_riders: int = 0
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_loop_pairs(self) -> int:
+        """Pairs the human–machine loop can actually work on."""
+        return len(self.vertices) - self.num_riders
+
+    def slice(self, state: PreparedState) -> PreparedState:
+        """Materialize this shard's self-contained state slice.
+
+        Graph shards restrict the base state to their vertices (with no
+        isolated pairs — classification happens in phase 2); isolated
+        shards keep the full retained set, vectors and signatures (the
+        classifier's neighborhoods span all retained pairs) with
+        ``isolated`` cut down to this shard's pairs.
+        """
+        if self.kind == GRAPH:
+            return state.restrict(set(self.vertices), isolated=set())
+        return replace(state, isolated=set(self.vertices))
+
+
+@dataclass(slots=True)
+class PartitionPlan:
+    """The full shard layout for one prepared state."""
+
+    shards: list[Shard]
+    num_components: int
+    num_graph_pairs: int
+    num_isolated_pairs: int
+    max_shard_size: int
+
+    @property
+    def graph_shards(self) -> list[Shard]:
+        return [s for s in self.shards if s.kind == GRAPH]
+
+    @property
+    def isolated_shards(self) -> list[Shard]:
+        return [s for s in self.shards if s.kind == ISOLATED]
+
+    def describe(self) -> str:
+        """Human-readable summary for ``repro partition info``.
+
+        ``PAIRS`` counts each shard's vertices; isolated pairs that ride
+        along in a graph shard (``RIDERS``) reappear in a classifier
+        shard, so the header reports the disjoint loop/isolated split.
+        """
+        lines = [
+            f"{len(self.graph_shards)} graph shard(s) over {self.num_components} "
+            f"entity-closure component(s), {self.num_graph_pairs} loop pair(s); "
+            f"{self.num_isolated_pairs} isolated pair(s) in "
+            f"{len(self.isolated_shards)} classifier shard(s); "
+            f"max shard size {self.max_shard_size}",
+            f"{'SHARD':>5} {'KIND':<9} {'PAIRS':>6} {'RIDERS':>7} "
+            f"{'COMPONENTS':>11} {'EDGES':>7}",
+        ]
+        for shard in self.shards:
+            lines.append(
+                f"{shard.shard_id:>5} {shard.kind:<9} {shard.num_pairs:>6} "
+                f"{shard.num_riders:>7} {shard.num_components:>11} "
+                f"{shard.num_edges:>7}"
+            )
+        return "\n".join(lines)
+
+
+def pack_components(
+    components: list[set[Pair]], max_shard_size: int
+) -> list[list[set[Pair]]]:
+    """Greedy LPT packing of components into size-capped bins.
+
+    Components are placed largest-first into the least-loaded bin that
+    still has room; a component bigger than the cap gets a bin of its own
+    (components are never split — they are the unit of independence).
+    Deterministic: ties break on bin index, and the component order is
+    fixed by (size, smallest vertex).
+    """
+    ordered = sorted(components, key=lambda c: (-len(c), min(c)))
+    bins: list[tuple[int, list[set[Pair]]]] = []
+    for component in ordered:
+        candidates = [
+            (load, index)
+            for index, (load, _) in enumerate(bins)
+            if load + len(component) <= max_shard_size
+        ]
+        if candidates and len(component) <= max_shard_size:
+            load, index = min(candidates)
+            bins[index] = (load + len(component), bins[index][1] + [component])
+        else:
+            bins.append((len(component), [component]))
+    return [members for _, members in bins]
+
+
+def partition_state(
+    state: PreparedState,
+    *,
+    max_shard_size: int | None = None,
+    target_shards: int = DEFAULT_TARGET_SHARDS,
+    isolated_shards: int = 1,
+) -> PartitionPlan:
+    """Compute the shard layout for ``state``.
+
+    ``max_shard_size`` caps the number of pairs per graph shard; when
+    omitted it is derived as ``ceil(loop pairs / target_shards)``.
+    ``isolated_shards`` splits the isolated pairs into that many
+    classifier shards (1 keeps classification closest to the monolithic
+    run, where signature groups can share seed labels).
+    """
+    if target_shards < 1:
+        raise ValueError("target_shards must be positive")
+    if isolated_shards < 1:
+        raise ValueError("isolated_shards must be positive")
+    isolated = set(state.isolated)
+    # Pure-isolated groups have no graph vertex at all: nothing for the
+    # loop to do, so they go straight to the classifier phase.
+    components = [
+        component
+        for component in entity_closure_components(state)
+        if not component <= isolated
+    ]
+    total_graph_pairs = sum(len(c) for c in components)
+    if max_shard_size is None:
+        max_shard_size = max(1, math.ceil(total_graph_pairs / target_shards))
+    elif max_shard_size < 1:
+        raise ValueError("max_shard_size must be positive")
+
+    shards: list[Shard] = []
+    for members in pack_components(components, max_shard_size):
+        vertices: set[Pair] = set().union(*members)
+        # Graph edges never leave an entity-closure component, so every
+        # neighbor group of a shard vertex lies wholly inside the shard.
+        edges = sum(
+            len(group)
+            for vertex in vertices
+            for group in state.graph.groups.get(vertex, {}).values()
+        )
+        shards.append(
+            Shard(
+                shard_id=0,  # assigned after the deterministic sort below
+                kind=GRAPH,
+                vertices=tuple(sorted(vertices)),
+                num_components=len(members),
+                num_edges=edges,
+                num_riders=len(vertices & isolated),
+            )
+        )
+    # Stable shard ids: order graph shards by their smallest vertex so the
+    # layout (and thus every per-shard seed) survives set-iteration order.
+    shards.sort(key=lambda s: s.vertices[0] if s.vertices else ("", ""))
+
+    if isolated:
+        ordered = sorted(isolated)
+        chunk = math.ceil(len(ordered) / isolated_shards)
+        for start in range(0, len(ordered), chunk):
+            subset = ordered[start : start + chunk]
+            shards.append(
+                Shard(
+                    shard_id=0,
+                    kind=ISOLATED,
+                    vertices=tuple(subset),
+                    num_components=len(subset),
+                )
+            )
+    for index, shard in enumerate(shards):
+        shard.shard_id = index
+    return PartitionPlan(
+        shards=shards,
+        num_components=len(components),
+        # Loop pairs only: riders are counted once, under num_isolated.
+        num_graph_pairs=sum(s.num_loop_pairs for s in shards if s.kind == GRAPH),
+        num_isolated_pairs=len(isolated),
+        max_shard_size=max_shard_size,
+    )

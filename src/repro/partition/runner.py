@@ -1,0 +1,554 @@
+"""Parallel execution of a partitioned Remp run.
+
+:class:`ParallelRunner` executes a :class:`~repro.partition.partitioner.PartitionPlan`
+in two phases:
+
+1. **Graph shards** run the full human–machine loop concurrently on a
+   ``multiprocessing`` pool (or inline for ``workers=1``).  Each shard
+   gets a :class:`CrowdPlatform` derived deterministically from
+   ``(seed, shard_id)`` and a slice of the question budget, so its
+   execution is a pure function of the shard — independent of pool size
+   or scheduling order.
+2. **Isolated shards** classify the propagation-unreachable pairs against
+   the *merged* phase-1 resolutions — the same training data the
+   monolithic isolated-pair classifier sees.
+
+A deterministic merger reassembles the shard results into one
+:class:`RempResult`; because shard executions are order-independent, the
+merged result is identical for every worker count.  With a
+:class:`repro.store.RunStore` attached, every labeling round checkpoints
+under a partition-aware key ``(run_id, shard_id)`` and finished shards
+persist their results, so a killed run resumes shard-by-shard without
+re-asking a single question.
+
+Lifecycle events (started / checkpointed / finished / restored / failed,
+with loop and question counts) stream to an ``on_event`` callback — the
+CLI renders them as a live per-partition status line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue as queue_module
+import sys
+import traceback
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import RempConfig
+from repro.core.pipeline import (
+    LoopCheckpoint,
+    PreparedState,
+    Remp,
+    RempResult,
+    assemble_result,
+    merge_loop_snapshots,
+)
+from repro.crowd.platform import CrowdPlatform
+from repro.partition.partitioner import (
+    DEFAULT_TARGET_SHARDS,
+    GRAPH,
+    PartitionPlan,
+    Shard,
+    partition_state,
+)
+
+Pair = tuple[str, str]
+
+
+def shard_seed(seed: int, shard_id: int) -> int:
+    """Stable 63-bit seed derived from the run seed and a shard id."""
+    key = f"{seed}\x1f{shard_id}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big") >> 1
+
+
+@dataclass(slots=True)
+class CrowdSpec:
+    """A picklable recipe for building per-shard crowd platforms.
+
+    Shard workers run in separate processes, so they receive the *recipe*
+    for a platform rather than the platform itself; :meth:`build` derives
+    the worker-assignment seed from ``(seed, shard_id)``.  An
+    ``error_rate`` of 0 yields a perfect oracle (mirroring
+    :mod:`repro.service`).
+    """
+
+    truth: set[Pair]
+    error_rate: float = 0.0
+    seed: int = 0
+    num_workers: int = 50
+    workers_per_question: int = 5
+
+    def build(self, shard_id: int) -> CrowdPlatform:
+        if self.error_rate <= 0.0:
+            return CrowdPlatform.with_oracle(set(self.truth))
+        return CrowdPlatform.with_simulated_workers(
+            set(self.truth),
+            num_workers=self.num_workers,
+            error_rate=self.error_rate,
+            workers_per_question=self.workers_per_question,
+            seed=shard_seed(self.seed, shard_id),
+        )
+
+
+@dataclass(slots=True)
+class ShardEvent:
+    """One lifecycle/progress notification from a shard execution."""
+
+    shard_id: int
+    kind: str  # "started" | "checkpointed" | "finished" | "restored" | "failed"
+    phase: str  # "graph" | "isolated"
+    pairs: int = 0
+    loops: int = 0
+    questions: int = 0
+    matches: int = 0
+
+
+def split_budget(total: int | None, weights: list[int]) -> list[int | None]:
+    """Largest-remainder split of a question budget across graph shards.
+
+    Proportional to each shard's pair count; every unit of a finite
+    budget is handed to exactly one shard.  ``None`` (unlimited) passes
+    through unchanged.
+    """
+    if total is None:
+        return [None] * len(weights)
+    if not weights:
+        return []
+    weight_sum = sum(weights) or len(weights)
+    exact = [total * w / weight_sum for w in weights]
+    floors = [int(x) for x in exact]
+    remainder = total - sum(floors)
+    by_fraction = sorted(
+        range(len(weights)), key=lambda i: (floors[i] - exact[i], i)
+    )
+    for index in by_fraction[:remainder]:
+        floors[index] += 1
+    return floors
+
+
+@dataclass(slots=True)
+class _ShardTask:
+    """Everything a worker process needs to execute one shard."""
+
+    shard: Shard
+    config: RempConfig
+    strategy: str
+    seed: int
+    checkpoint: LoopCheckpoint | None = None
+    merged_snapshot: dict | None = None  # isolated shards only
+
+
+@dataclass(slots=True)
+class _ShardOutcome:
+    """A finished shard: its partial result and final loop snapshot."""
+
+    shard_id: int
+    kind: str
+    result: RempResult
+    snapshot: dict = field(default_factory=dict)
+
+
+def _execute_shard(
+    task: _ShardTask, base_state: PreparedState, crowd: CrowdSpec, emit
+) -> _ShardOutcome:
+    """Run one shard to completion (worker-process entry point).
+
+    ``base_state`` and ``crowd`` are shared by every shard of a run —
+    inherited by worker processes at fork time (or pickled once per
+    worker under spawn) rather than shipped per task, so a queued task
+    costs only its vertex list.  ``emit`` receives
+    ``("event", ShardEvent)`` and, after each labeling round,
+    ``("checkpoint", shard_id, LoopCheckpoint)`` messages; the parent
+    persists checkpoints so children never touch the store.
+    """
+    shard = task.shard
+    phase = shard.kind
+    shard_state = shard.slice(base_state)
+    remp = Remp(task.config, seed=shard_seed(task.seed, shard.shard_id))
+    platform = crowd.build(shard.shard_id)
+    emit(
+        (
+            "event",
+            ShardEvent(shard.shard_id, "started", phase, pairs=shard.num_pairs),
+        )
+    )
+    if shard.kind == GRAPH:
+        resume = task.checkpoint
+        if resume is not None:
+            platform.load_answer_log(resume.answer_log)
+
+        def on_checkpoint(checkpoint: LoopCheckpoint) -> None:
+            emit(("checkpoint", shard.shard_id, checkpoint))
+            emit(
+                (
+                    "event",
+                    ShardEvent(
+                        shard.shard_id,
+                        "checkpointed",
+                        phase,
+                        pairs=shard.num_pairs,
+                        loops=checkpoint.next_loop_index,
+                        questions=checkpoint.questions_asked,
+                    ),
+                )
+            )
+
+        loop_state, history, questions = remp.run_loop_phase(
+            shard_state,
+            platform,
+            task.strategy,
+            resume_from=resume,
+            on_checkpoint=on_checkpoint,
+        )
+        result = assemble_result(loop_state, set(), questions, history)
+        outcome = _ShardOutcome(
+            shard.shard_id, shard.kind, result, loop_state.snapshot()
+        )
+    else:
+        # Classifier-only shard: restore the merged phase-1 resolutions
+        # and let the monolithic isolated-pair path do the rest.  The
+        # shard result carries only the *delta* this shard produced.
+        loop_state = remp._make_loop_state(shard_state)
+        loop_state.restore(task.merged_snapshot or loop_state.snapshot())
+        base_labeled = set(loop_state.labeled_matches)
+        base_non_matches = set(loop_state.resolved_non_matches)
+        isolated_matches, _ = remp._classify_isolated(shard_state, loop_state, platform)
+        labeled_delta = loop_state.labeled_matches - base_labeled
+        result = RempResult(
+            matches=labeled_delta | isolated_matches,
+            questions_asked=platform.questions_asked,
+            num_loops=0,
+            labeled_matches=labeled_delta,
+            isolated_matches=isolated_matches,
+            non_matches=loop_state.resolved_non_matches - base_non_matches,
+        )
+        outcome = _ShardOutcome(shard.shard_id, shard.kind, result)
+    emit(
+        (
+            "event",
+            ShardEvent(
+                shard.shard_id,
+                "finished",
+                phase,
+                pairs=shard.num_pairs,
+                loops=result.num_loops,
+                questions=result.questions_asked,
+                matches=len(result.matches),
+            ),
+        )
+    )
+    return outcome
+
+
+def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
+    """Pool worker: execute shard tasks until the ``None`` sentinel.
+
+    ``base_state`` and ``crowd`` arrive through the process arguments:
+    free under the ``fork`` start method (copy-on-write memory), pickled
+    once per worker — never once per shard — under ``spawn``.
+    """
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        try:
+            outcome = _execute_shard(task, base_state, crowd, event_queue.put)
+            event_queue.put(("done", task.shard.shard_id, outcome))
+        except Exception:
+            event_queue.put(("error", task.shard.shard_id, traceback.format_exc()))
+
+
+def merge_shard_results(results: list[tuple[int, RempResult]]) -> RempResult:
+    """Deterministically reassemble shard results into one result.
+
+    Resolution sets are unioned (a match recorded by any shard wins over
+    a competitor demotion from another), questions and loops are summed
+    — shards ask about disjoint pair sets, so distinct-question billing
+    is additive — and histories concatenate in shard-id order with the
+    loop index rewritten to a single global sequence.
+    """
+    merged = RempResult(matches=set(), questions_asked=0, num_loops=0)
+    for _, result in sorted(results, key=lambda item: item[0]):
+        merged.matches |= result.matches
+        merged.labeled_matches |= result.labeled_matches
+        merged.inferred_matches |= result.inferred_matches
+        merged.isolated_matches |= result.isolated_matches
+        merged.non_matches |= result.non_matches
+        merged.questions_asked += result.questions_asked
+        for record in result.history:
+            merged.history.append(replace(record, loop_index=len(merged.history)))
+    merged.non_matches -= merged.matches
+    merged.num_loops = len(merged.history)
+    return merged
+
+
+class ParallelRunner:
+    """Partition a prepared state and run its shards on a worker pool.
+
+    Parameters
+    ----------
+    config, seed, strategy:
+        Forwarded to the per-shard :class:`Remp` instances (each shard's
+        effective seed is derived from ``(seed, shard_id)``).
+    workers:
+        Pool size.  ``1`` executes shards inline in deterministic order —
+        the reference semantics every pool size must reproduce.
+    max_shard_size, target_shards, isolated_shards:
+        Partition parameters (see :func:`partition_state`).  Independent
+        of ``workers`` by design.
+    store, run_id:
+        Optional :class:`repro.store.RunStore` (or compatible) plus run
+        id; enables per-shard checkpointing and :meth:`run` resume.
+    on_event:
+        Callback receiving every :class:`ShardEvent`.
+    """
+
+    def __init__(
+        self,
+        config: RempConfig | None = None,
+        *,
+        seed: int = 0,
+        workers: int = 1,
+        strategy: str = "remp",
+        max_shard_size: int | None = None,
+        target_shards: int = DEFAULT_TARGET_SHARDS,
+        isolated_shards: int = 1,
+        store=None,
+        run_id: str | None = None,
+        on_event=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if store is not None and run_id is None:
+            raise ValueError("run_id is required when a store is attached")
+        self.config = config or RempConfig()
+        self.seed = seed
+        self.workers = workers
+        self.strategy = strategy
+        self.max_shard_size = max_shard_size
+        self.target_shards = target_shards
+        self.isolated_shards = isolated_shards
+        self._store = store
+        self._run_id = run_id
+        self._on_event = on_event
+
+    # ------------------------------------------------------------------
+    def plan(self, state: PreparedState) -> PartitionPlan:
+        """The deterministic shard layout for ``state``."""
+        return partition_state(
+            state,
+            max_shard_size=self.max_shard_size,
+            target_shards=self.target_shards,
+            isolated_shards=self.isolated_shards,
+        )
+
+    def run(self, state: PreparedState, crowd: CrowdSpec) -> RempResult:
+        """Execute the partitioned pipeline and merge the shard results."""
+        plan = self.plan(state)
+        stored = self._load_shard_records()
+        outcomes: dict[int, _ShardOutcome] = {}
+
+        graph_shards = plan.graph_shards
+        # Weight by loop pairs: rider isolated pairs can never consume a
+        # question, so they must not attract budget either.
+        budgets = split_budget(
+            self.config.budget, [shard.num_loop_pairs for shard in graph_shards]
+        )
+        tasks: list[_ShardTask] = []
+        for shard, budget in zip(graph_shards, budgets):
+            task = _ShardTask(
+                shard=shard,
+                config=replace(self.config, budget=budget),
+                strategy=self.strategy,
+                seed=self.seed,
+            )
+            if not self._restore_outcome(shard, stored, outcomes):
+                record = stored.get(shard.shard_id)
+                if record is not None and record[0] == "loop":
+                    task.checkpoint = record[1]
+                tasks.append(task)
+        self._execute(tasks, state, crowd, outcomes)
+
+        merged_snapshot = merge_loop_snapshots(
+            state,
+            [
+                outcomes[shard.shard_id].snapshot
+                for shard in graph_shards
+                if shard.shard_id in outcomes
+            ],
+        )
+        isolated_tasks: list[_ShardTask] = []
+        for shard in plan.isolated_shards:
+            if not self._restore_outcome(shard, stored, outcomes):
+                isolated_tasks.append(
+                    _ShardTask(
+                        shard=shard,
+                        config=self.config,
+                        strategy=self.strategy,
+                        seed=self.seed,
+                        merged_snapshot=merged_snapshot,
+                    )
+                )
+        self._execute(isolated_tasks, state, crowd, outcomes)
+
+        return merge_shard_results(
+            [(shard_id, outcome.result) for shard_id, outcome in outcomes.items()]
+        )
+
+    # ------------------------------------------------------------------
+    # Resume bookkeeping
+    # ------------------------------------------------------------------
+    def _load_shard_records(self) -> dict[int, tuple]:
+        if self._store is None:
+            return {}
+        return self._store.load_shard_records(self._run_id)
+
+    def _restore_outcome(
+        self, shard: Shard, stored: dict[int, tuple], outcomes: dict[int, _ShardOutcome]
+    ) -> bool:
+        """Reuse a persisted finished shard; emits a ``restored`` event."""
+        record = stored.get(shard.shard_id)
+        if record is None or record[0] != "done":
+            return False
+        _, result, snapshot = record
+        outcomes[shard.shard_id] = _ShardOutcome(
+            shard.shard_id, shard.kind, result, snapshot
+        )
+        self._emit(
+            ShardEvent(
+                shard.shard_id,
+                "restored",
+                shard.kind,
+                pairs=shard.num_pairs,
+                loops=result.num_loops,
+                questions=result.questions_asked,
+                matches=len(result.matches),
+            )
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        tasks: list[_ShardTask],
+        state: PreparedState,
+        crowd: CrowdSpec,
+        outcomes: dict[int, _ShardOutcome],
+    ) -> None:
+        if not tasks:
+            return
+        if self.workers == 1 or len(tasks) == 1:
+            for task in tasks:
+                outcome = _execute_shard(task, state, crowd, self._handle_message)
+                self._finish_shard(outcome, outcomes)
+            return
+        self._execute_pool(tasks, state, crowd, outcomes)
+
+    def _execute_pool(
+        self,
+        tasks: list[_ShardTask],
+        state: PreparedState,
+        crowd: CrowdSpec,
+        outcomes: dict[int, _ShardOutcome],
+    ) -> None:
+        # Prefer fork on Linux: the base state is inherited copy-on-write
+        # instead of pickled, and our children touch only inherited data
+        # plus the two queues.  Elsewhere (notably macOS, where fork is
+        # advertised but unsafe) stay with the platform default — under
+        # spawn the state is pickled once per worker via the process args.
+        if sys.platform.startswith("linux") and (
+            "fork" in multiprocessing.get_all_start_methods()
+        ):
+            context = multiprocessing.get_context("fork")
+        else:
+            context = multiprocessing.get_context()
+        task_queue = context.Queue()
+        event_queue = context.Queue()
+        pool_size = min(self.workers, len(tasks))
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(state, crowd, task_queue, event_queue),
+                daemon=True,
+            )
+            for _ in range(pool_size)
+        ]
+        for process in processes:
+            process.start()
+        for task in tasks:
+            task_queue.put(task)
+        for _ in processes:
+            task_queue.put(None)
+        failure: tuple[int, str] | None = None
+        pending = len(tasks)
+        clean_exit = False
+        try:
+            while pending and failure is None:
+                try:
+                    message = event_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    dead = [p for p in processes if not p.is_alive() and p.exitcode]
+                    if dead:
+                        failure = (-1, f"shard worker died with exit code {dead[0].exitcode}")
+                    continue
+                if message[0] == "done":
+                    self._finish_shard(message[2], outcomes)
+                    pending -= 1
+                elif message[0] == "error":
+                    failure = (message[1], message[2])
+                else:
+                    self._handle_message(message)
+            clean_exit = failure is None
+        finally:
+            # Terminate on a child failure AND on any parent-side
+            # exception (a raising on_event sink, a failing store write):
+            # otherwise the daemon workers keep running shards whose
+            # checkpoints nobody persists, and join() blocks on them.
+            if not clean_exit:
+                for process in processes:
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=10.0)
+        if failure is not None:
+            shard_id, trace = failure
+            phases = {task.shard.shard_id: task.shard.kind for task in tasks}
+            self._emit(ShardEvent(shard_id, "failed", phases.get(shard_id, GRAPH)))
+            raise RuntimeError(f"shard {shard_id} failed:\n{trace}")
+
+    # ------------------------------------------------------------------
+    # Parent-side message handling (events + checkpoint persistence)
+    # ------------------------------------------------------------------
+    def _handle_message(self, message: tuple) -> None:
+        if message[0] == "event":
+            self._emit(message[1])
+        elif message[0] == "checkpoint":
+            _, shard_id, checkpoint = message
+            if self._store is not None:
+                self._store.save_shard_checkpoint(self._run_id, shard_id, checkpoint)
+
+    def _finish_shard(
+        self, outcome: _ShardOutcome, outcomes: dict[int, _ShardOutcome]
+    ) -> None:
+        outcomes[outcome.shard_id] = outcome
+        if self._store is not None:
+            self._store.save_shard_result(
+                self._run_id, outcome.shard_id, outcome.result, outcome.snapshot
+            )
+
+    def _emit(self, event: ShardEvent) -> None:
+        if self._on_event is not None:
+            self._on_event(event)
+
+
+# Re-exported for the service/CLI layers.
+__all__ = [
+    "CrowdSpec",
+    "ParallelRunner",
+    "ShardEvent",
+    "merge_shard_results",
+    "shard_seed",
+    "split_budget",
+]

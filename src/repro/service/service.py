@@ -15,6 +15,11 @@ one :class:`repro.store.RunStore`:
 * Every labeling round checkpoints to the store, so a killed process (or
   a failed session) resumes mid-loop via :meth:`MatchingService.resume`,
   replaying the recorded crowd answers instead of re-asking.
+* Sessions submitted with ``workers=N`` run partitioned
+  (:mod:`repro.partition`): the ER graph is sharded into entity-closure
+  components and fanned onto a process pool, checkpointing per shard;
+  such runs resume shard-by-shard, and their merged result does not
+  depend on the pool size.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.core.pipeline import (
 )
 from repro.crowd import CrowdPlatform
 from repro.datasets import load_dataset
+from repro.partition import CrowdSpec, ParallelRunner
 from repro.store import RunStore, config_hash
 from repro.store.store import RunRecord
 
@@ -75,6 +81,8 @@ class MatchingSession:
         error_rate: float,
         store: RunStore,
         prepared_provider,
+        workers: int | None = None,
+        on_event=None,
     ):
         self.run_id = run_id
         self.dataset = dataset
@@ -83,6 +91,9 @@ class MatchingSession:
         self.config = config or RempConfig()
         self.strategy = strategy
         self.error_rate = error_rate
+        #: Partitioned-run pool size; ``None`` = monolithic stepwise run.
+        self.workers = workers
+        self.on_event = on_event
         self.status = QUEUED
         self.error: str | None = None
         self._store = store
@@ -143,6 +154,11 @@ class MatchingSession:
         Returns ``False`` once the loop has converged (or already
         finished); call :meth:`finalize` afterwards for the result.
         """
+        if self.workers is not None:
+            raise ValueError(
+                "partitioned sessions advance whole shards, not loops; "
+                "use run()/result() instead of step()"
+            )
         with self._lock:
             if self._result is not None or self._loop_converged:
                 return False
@@ -180,6 +196,8 @@ class MatchingSession:
 
     def finalize(self) -> RempResult:
         """Final propagation, isolated-pair classification, ledger write."""
+        if self.workers is not None:
+            return self._run_partitioned()
         with self._lock:
             if self._result is not None:
                 return self._result
@@ -203,6 +221,8 @@ class MatchingSession:
     def run(self) -> RempResult:
         """Drive the session to completion (the thread-pool entry point)."""
         try:
+            if self.workers is not None:
+                return self._run_partitioned()
             while self.step():
                 pass
             return self.finalize()
@@ -212,6 +232,48 @@ class MatchingSession:
                 self.error = f"{type(exc).__name__}: {exc}"
                 self._store.fail_run(self.run_id, traceback.format_exc())
             raise
+
+    def _run_partitioned(self) -> RempResult:
+        """Shard the prepared state and fan it onto a process pool.
+
+        Every labeling round of every shard checkpoints under
+        ``(run_id, shard_id)``, so a killed partitioned run resumes
+        shard-by-shard; finished shards are restored from the store and
+        never re-executed.
+
+        The session lock is held for the whole run — like the
+        monolithic path, which holds it across every ``step()`` — so
+        concurrent ``result()``/``finalize()`` callers wait for the one
+        execution instead of fanning out a second pool.
+        """
+        with self._lock:
+            if self._result is not None:
+                return self._result
+            self.status = PREPARING
+            self._store.update_run_status(self.run_id, PREPARING)
+            state: PreparedState = self._prepared_provider(
+                self.dataset, self.seed, self.scale, self.config
+            )
+            bundle = load_dataset(self.dataset, seed=self.seed, scale=self.scale)
+            crowd = CrowdSpec(
+                truth=bundle.gold_matches, error_rate=self.error_rate, seed=self.seed
+            )
+            runner = ParallelRunner(
+                self.config,
+                seed=self.seed,
+                workers=self.workers,
+                strategy=self.strategy,
+                store=self._store,
+                run_id=self.run_id,
+                on_event=self.on_event,
+            )
+            self.status = RUNNING
+            self._store.update_run_status(self.run_id, RUNNING)
+            result = runner.run(state, crowd)
+            self._result = result
+            self.status = DONE
+            self._store.finish_run(self.run_id, result)
+            return result
 
     def result(self) -> RempResult | None:
         return self._result
@@ -327,18 +389,29 @@ class MatchingService:
         strategy: str = "remp",
         error_rate: float | None = None,
         background: bool = True,
+        workers: int | None = None,
+        on_event=None,
     ) -> str:
         """Register a new run and return its id.
 
         With ``background=True`` the session starts on the thread pool;
         otherwise it waits to be advanced via :meth:`step` (one
         human–machine loop per call) or driven to completion by
-        :meth:`result`.
+        :meth:`result`.  ``workers`` switches the session to partitioned
+        execution (:mod:`repro.partition`): the ER graph is sharded into
+        components and run on that many processes, with per-shard
+        checkpoints; ``on_event`` receives shard lifecycle events.
         """
         if error_rate is None:
             error_rate = self._default_error_rate
         run_id = self._store.create_run(
-            dataset, seed, scale, config, strategy=strategy, error_rate=error_rate
+            dataset,
+            seed,
+            scale,
+            config,
+            strategy=strategy,
+            error_rate=error_rate,
+            workers=workers,
         )
         session = MatchingSession(
             run_id,
@@ -350,6 +423,8 @@ class MatchingService:
             error_rate=error_rate,
             store=self._store,
             prepared_provider=self.prepared,
+            workers=workers,
+            on_event=on_event,
         )
         with self._lock:
             self._sessions[run_id] = session
@@ -358,11 +433,20 @@ class MatchingService:
                 self._futures[run_id] = self._executor.submit(session.run)
         return run_id
 
-    def resume(self, run_id: str, background: bool = True) -> str:
+    def resume(
+        self,
+        run_id: str,
+        background: bool = True,
+        workers: int | None = None,
+        on_event=None,
+    ) -> str:
         """Rebuild a session for an interrupted or failed ledger run.
 
         The stored checkpoint (if any) restores the resolution state and
         replays the crowd answer log, so no past question is re-asked.
+        A partitioned run resumes partitioned (its recorded pool size
+        can be overridden with ``workers`` — the merged result does not
+        depend on it).
         """
         record = self._store.get_run(run_id)
         if record is None:
@@ -376,6 +460,19 @@ class MatchingService:
             raise ValueError(f"run {run_id!r} is still active in this service")
         if live is not None and live.status in (QUEUED, PREPARING, RUNNING):
             raise ValueError(f"run {run_id!r} has a live session in this service")
+        if (
+            workers is not None
+            and record.workers is None
+            and self._store.load_checkpoint(run_id) is not None
+        ):
+            raise ValueError(
+                f"run {run_id!r} is monolithic with a mid-loop checkpoint; "
+                "resuming it partitioned would discard that progress"
+            )
+        if workers is not None and workers != record.workers:
+            # Persist the override: later resumes must keep treating the
+            # run as partitioned and reuse its shard checkpoints.
+            self._store.set_run_workers(run_id, workers)
         config = self._store.get_run_config(run_id)
         session = MatchingSession(
             run_id,
@@ -387,6 +484,8 @@ class MatchingService:
             error_rate=record.error_rate,
             store=self._store,
             prepared_provider=self.prepared,
+            workers=workers if workers is not None else record.workers,
+            on_event=on_event,
         )
         with self._lock:
             self._sessions[run_id] = session

@@ -66,6 +66,7 @@ CREATE TABLE IF NOT EXISTS runs (
     questions_asked INTEGER NOT NULL DEFAULT 0,
     result_json     TEXT,
     error           TEXT,
+    workers         INTEGER,
     created_at      TEXT NOT NULL,
     updated_at      TEXT NOT NULL
 );
@@ -74,7 +75,23 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     payload    TEXT NOT NULL,
     updated_at TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS shard_checkpoints (
+    run_id     TEXT NOT NULL,
+    shard_id   INTEGER NOT NULL,
+    kind       TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    updated_at TEXT NOT NULL,
+    PRIMARY KEY (run_id, shard_id)
+);
 """
+
+#: Columns added after the v1 schema.  New databases get them through
+#: ``_SCHEMA`` directly; the ALTER TABLE only upgrades stores created by
+#: earlier releases (it fails with "duplicate column" otherwise, which
+#: is the one error the open path may swallow).
+_MIGRATIONS = (
+    "ALTER TABLE runs ADD COLUMN workers INTEGER",
+)
 
 #: Run lifecycle states recorded in the ledger.
 RUN_STATUSES = ("queued", "preparing", "running", "done", "failed")
@@ -100,10 +117,16 @@ class RunRecord:
     created_at: str
     updated_at: str
     error: str | None = None
+    #: Partitioned-run pool size; ``None`` marks a monolithic run.
+    workers: int | None = None
 
     @property
     def finished(self) -> bool:
         return self.status in ("done", "failed")
+
+    @property
+    def partitioned(self) -> bool:
+        return self.workers is not None
 
 
 class RunStore:
@@ -125,6 +148,12 @@ class RunStore:
         self._conn.row_factory = sqlite3.Row
         with self._lock, self._conn:
             self._conn.executescript(_SCHEMA)
+            for migration in _MIGRATIONS:
+                try:
+                    self._conn.execute(migration)
+                except sqlite3.OperationalError as exc:
+                    if "duplicate column" not in str(exc).lower():
+                        raise
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -212,15 +241,21 @@ class RunStore:
         strategy: str = "remp",
         error_rate: float = 0.0,
         run_id: str | None = None,
+        workers: int | None = None,
     ) -> str:
-        """Insert a ledger row in status ``queued``; returns the run id."""
+        """Insert a ledger row in status ``queued``; returns the run id.
+
+        ``workers`` marks a partitioned run (``repro.partition``); its
+        checkpoints live per shard and resume re-fans them onto a pool.
+        """
         run_id = run_id or uuid.uuid4().hex[:12]
         now = _now()
         with self._lock, self._conn:
             self._conn.execute(
                 "INSERT INTO runs (run_id, dataset, seed, scale, config_hash,"
-                " strategy, error_rate, status, config_json, created_at, updated_at)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', ?, ?, ?)",
+                " strategy, error_rate, status, config_json, workers,"
+                " created_at, updated_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', ?, ?, ?, ?)",
                 (
                     run_id,
                     dataset,
@@ -230,11 +265,25 @@ class RunStore:
                     strategy,
                     error_rate,
                     json.dumps(config_to_doc(config or RempConfig()), sort_keys=True),
+                    workers,
                     now,
                     now,
                 ),
             )
         return run_id
+
+    def set_run_workers(self, run_id: str, workers: int | None) -> None:
+        """Record (or clear) a run's partitioned pool size in the ledger.
+
+        Resuming with a ``workers`` override calls this so that *later*
+        resumes keep treating the run as partitioned and pick up its
+        shard checkpoints instead of silently reverting to monolithic.
+        """
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE runs SET workers = ?, updated_at = ? WHERE run_id = ?",
+                (workers, _now(), run_id),
+            )
 
     def update_run_status(self, run_id: str, status: str) -> None:
         if status not in RUN_STATUSES:
@@ -259,6 +308,9 @@ class RunStore:
                 ),
             )
             self._conn.execute("DELETE FROM checkpoints WHERE run_id = ?", (run_id,))
+            self._conn.execute(
+                "DELETE FROM shard_checkpoints WHERE run_id = ?", (run_id,)
+            )
 
     def fail_run(self, run_id: str, error: str) -> None:
         """Mark ``failed``; the checkpoint is kept so the run can resume."""
@@ -273,7 +325,8 @@ class RunStore:
         with self._lock:
             row = self._conn.execute(
                 "SELECT run_id, dataset, seed, scale, config_hash, strategy,"
-                " error_rate, status, questions_asked, created_at, updated_at, error"
+                " error_rate, status, questions_asked, created_at, updated_at,"
+                " error, workers"
                 " FROM runs WHERE run_id = ?",
                 (run_id,),
             ).fetchone()
@@ -300,7 +353,8 @@ class RunStore:
     def list_runs(self, dataset: str | None = None) -> list[RunRecord]:
         query = (
             "SELECT run_id, dataset, seed, scale, config_hash, strategy,"
-            " error_rate, status, questions_asked, created_at, updated_at, error"
+            " error_rate, status, questions_asked, created_at, updated_at,"
+            " error, workers"
             " FROM runs"
         )
         params: tuple = ()
@@ -340,6 +394,83 @@ class RunStore:
         return checkpoint_from_doc(json.loads(row["payload"]))
 
     # ------------------------------------------------------------------
+    # Per-shard checkpoints (partitioned runs, repro.partition)
+    # ------------------------------------------------------------------
+    def save_shard_checkpoint(
+        self, run_id: str, shard_id: int, checkpoint: LoopCheckpoint
+    ) -> None:
+        """Overwrite one shard's mid-loop checkpoint for a partitioned run."""
+        payload = json.dumps(
+            {"kind": "loop", "checkpoint": checkpoint_to_doc(checkpoint)},
+            sort_keys=True,
+        )
+        self._write_shard_row(run_id, shard_id, "loop", payload)
+
+    def save_shard_result(
+        self, run_id: str, shard_id: int, result: RempResult, snapshot: dict
+    ) -> None:
+        """Mark a shard finished: final result plus its loop-state snapshot.
+
+        The snapshot feeds the isolated-pair classification phase on
+        resume, so a restored shard contributes exactly the training
+        data it produced live.
+        """
+        payload = json.dumps(
+            {"kind": "done", "result": result_to_doc(result), "snapshot": snapshot},
+            sort_keys=True,
+        )
+        self._write_shard_row(run_id, shard_id, "done", payload)
+
+    def _write_shard_row(
+        self, run_id: str, shard_id: int, kind: str, payload: str
+    ) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO shard_checkpoints"
+                " (run_id, shard_id, kind, payload, updated_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (run_id, shard_id, kind, payload, _now()),
+            )
+
+    def load_shard_records(self, run_id: str) -> dict[int, tuple]:
+        """All persisted shard states of a partitioned run.
+
+        Returns ``{shard_id: ("loop", LoopCheckpoint)}`` for shards
+        interrupted mid-loop and ``{shard_id: ("done", RempResult,
+        snapshot)}`` for finished shards — the resume input of
+        :class:`repro.partition.ParallelRunner`.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard_id, payload FROM shard_checkpoints WHERE run_id = ?"
+                " ORDER BY shard_id",
+                (run_id,),
+            ).fetchall()
+        records: dict[int, tuple] = {}
+        for row in rows:
+            doc = json.loads(row["payload"])
+            if doc["kind"] == "loop":
+                records[row["shard_id"]] = (
+                    "loop",
+                    checkpoint_from_doc(doc["checkpoint"]),
+                )
+            else:
+                records[row["shard_id"]] = (
+                    "done",
+                    result_from_doc(doc["result"]),
+                    doc["snapshot"],
+                )
+        return records
+
+    def clear_shard_checkpoints(self, run_id: str) -> int:
+        """Drop every shard row of a run; returns the number removed."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM shard_checkpoints WHERE run_id = ?", (run_id,)
+            )
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Row counts for ``repro cache info`` and diagnostics."""
         with self._lock:
@@ -355,12 +486,16 @@ class RunStore:
             checkpoints = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM checkpoints"
             ).fetchone()["n"]
+            shard_checkpoints = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM shard_checkpoints"
+            ).fetchone()["n"]
         return {
             "path": self.path,
             "prepared_states": prepared,
             "runs": runs,
             "runs_by_status": by_status,
             "checkpoints": checkpoints,
+            "shard_checkpoints": shard_checkpoints,
         }
 
 
@@ -378,4 +513,5 @@ def _run_record(row: sqlite3.Row) -> RunRecord:
         created_at=row["created_at"],
         updated_at=row["updated_at"],
         error=row["error"],
+        workers=row["workers"],
     )

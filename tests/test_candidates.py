@@ -77,3 +77,77 @@ def test_empty_kbs():
     result = generate_candidates(KnowledgeBase("e1"), KnowledgeBase("e2"))
     assert len(result) == 0
     assert not result.initial_matches
+
+
+class TestUntokenizableExactLabels:
+    """Regression: identical raw labels whose normalization is empty.
+
+    Such pairs used to vanish from both M_c and M_in because token-based
+    blocking never saw the entities; an exact raw-label equality must
+    admit them with prior 1.0.
+    """
+
+    def test_both_sides_empty_tokens(self):
+        kb1 = KnowledgeBase("kb1")
+        kb1.add_entity("a1", label="???")
+        kb2 = KnowledgeBase("kb2")
+        kb2.add_entity("b1", label="???")
+        result = generate_candidates(kb1, kb2)
+        assert ("a1", "b1") in result.pairs
+        assert ("a1", "b1") in result.initial_matches
+        assert result.prior(("a1", "b1")) == 1.0
+
+    def test_one_side_tokenizable_via_second_label(self):
+        # b1's only label is untokenizable; a1 carries the same raw label
+        # alongside a tokenizable one, so blocking sees a1 but not b1.
+        kb1 = KnowledgeBase("kb1")
+        kb1.add_entity("a1", label="Star")
+        kb1.add_attribute_triple("a1", "rdfs:label", "★")
+        kb2 = KnowledgeBase("kb2")
+        kb2.add_entity("b1", label="★")
+        result = generate_candidates(kb1, kb2)
+        assert ("a1", "b1") in result.pairs
+        assert ("a1", "b1") in result.initial_matches
+        assert result.prior(("a1", "b1")) == 1.0
+
+    def test_different_untokenizable_labels_stay_apart(self):
+        kb1 = KnowledgeBase("kb1")
+        kb1.add_entity("a1", label="???")
+        kb2 = KnowledgeBase("kb2")
+        kb2.add_entity("b1", label="!!!")
+        result = generate_candidates(kb1, kb2)
+        assert not result.pairs
+
+    def test_tokenizable_exact_pairs_unchanged(self, kbs):
+        kb1, kb2 = kbs
+        result = generate_candidates(kb1, kb2)
+        assert ("a1", "b1") in result.initial_matches
+        assert result.prior(("a1", "b1")) == 1.0
+
+
+def test_inverted_index_scores_match_naive_jaccard():
+    """The one-pass intersection counting equals per-pair set algebra."""
+    from repro.text.normalize import normalize_label
+    from repro.text.similarity import jaccard
+
+    words = ["alpha", "bravo", "charlie", "delta", "echo", "fox", "golf"]
+    kb1, kb2 = KnowledgeBase("kb1"), KnowledgeBase("kb2")
+    import random
+
+    rng = random.Random(42)
+    for i in range(40):
+        kb1.add_entity(f"a{i}", label=" ".join(rng.sample(words, rng.randint(1, 4))))
+        kb2.add_entity(f"b{i}", label=" ".join(rng.sample(words, rng.randint(1, 4))))
+    threshold = 0.3
+    result = generate_candidates(kb1, kb2, threshold=threshold)
+
+    expected = {}
+    for i in range(40):
+        tokens1 = normalize_label(kb1.label(f"a{i}"))
+        for j in range(40):
+            tokens2 = normalize_label(kb2.label(f"b{j}"))
+            sim = jaccard(tokens1, tokens2)
+            if sim >= threshold:
+                expected[(f"a{i}", f"b{j}")] = sim
+    assert result.priors == pytest.approx(expected)
+    assert result.pairs == set(expected)

@@ -39,6 +39,37 @@ def test_export_command(tmp_path, capsys):
     assert (tmp_path / "out" / "kb2.json").exists()
 
 
+def test_run_workers_partitioned(capsys):
+    assert main(
+        ["run", "iimb", "--scale", "0.2", "--error-rate", "0", "--workers", "2"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "F1=" in captured.out
+    # The live status line streams shard lifecycle events to stderr.
+    assert "shard 0" in captured.err
+    assert "finished" in captured.err
+
+
+def test_run_workers_zero_rejected(capsys):
+    assert main(["run", "iimb", "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_partition_info(capsys):
+    assert main(["partition", "info", "iimb", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "graph shard(s)" in out
+    assert "SHARD" in out
+    assert "isolated" in out
+
+
+def test_partition_info_with_shard_cap(capsys):
+    assert main(
+        ["partition", "info", "iimb", "--scale", "0.2", "--max-shard-size", "10"]
+    ) == 0
+    assert "max shard size 10" in capsys.readouterr().out
+
+
 def test_unknown_dataset_rejected():
     with pytest.raises(SystemExit):
         main(["run", "nonsense"])

@@ -80,6 +80,39 @@ def test_connected_components(movie_kbs, vertices):
     assert sizes == [1, 4]
 
 
+def test_iter_components_matches_connected_components(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    lazy = sorted(map(sorted, graph.iter_components()))
+    eager = sorted(map(sorted, graph.connected_components()))
+    assert lazy == eager
+    assert set().union(*graph.iter_components()) == graph.vertices
+
+
+def test_subgraph_over_whole_component_keeps_edges(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    (component,) = [c for c in graph.connected_components() if len(c) > 1]
+    sub = graph.subgraph(component)
+    assert sub.vertices == component
+    assert sub.num_edges == sum(
+        len(members)
+        for vertex in component
+        for members in graph.groups.get(vertex, {}).values()
+    )
+
+
+def test_subgraph_drops_outside_members(movie_kbs, vertices):
+    kb1, kb2 = movie_kbs
+    graph = build_er_graph(kb1, kb2, vertices)
+    vertex = ("y:Tim", "d:Tim")
+    sub = graph.subgraph({vertex})
+    assert sub.vertices == {vertex}
+    # All of the vertex's neighbors are outside, so no group survives.
+    assert not sub.groups.get(vertex)
+    assert sub.isolated_vertices() == {vertex}
+
+
 def test_num_edges_counts_labels_separately(movie_kbs, vertices):
     kb1, kb2 = movie_kbs
     graph = build_er_graph(kb1, kb2, vertices)

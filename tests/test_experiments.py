@@ -5,7 +5,6 @@ driver produces a well-formed table and that the cheap shape invariants
 hold even at minimal dataset sizes.
 """
 
-import pytest
 
 from repro.experiments import (
     figure3,

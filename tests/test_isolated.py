@@ -1,6 +1,5 @@
 """Tests for the isolated-pair classifier (Section VII-B)."""
 
-import pytest
 
 from repro.core.config import RempConfig
 from repro.core.isolated import IsolatedPairClassifier, attribute_signature

@@ -6,7 +6,6 @@ precision restriction under an oracle, billing must match the platform,
 and the core data structures must stay internally consistent.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -173,6 +173,112 @@ class TestRunStore:
             with pytest.raises(ValueError, match="unknown run status"):
                 store.update_run_status(run_id, "exploded")
 
+    def test_workers_column_round_trip(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            mono = store.create_run("iimb", 0, 0.2, None)
+            part = store.create_run("iimb", 0, 0.2, None, workers=4)
+            assert store.get_run(mono).workers is None
+            assert not store.get_run(mono).partitioned
+            assert store.get_run(part).workers == 4
+            assert store.get_run(part).partitioned
+
+    def test_workers_column_migrated_into_old_store(self, tmp_path):
+        """A PR-1-era database (no workers column) opens and upgrades."""
+        import sqlite3
+
+        path = tmp_path / "old.db"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE runs (
+                run_id TEXT PRIMARY KEY, dataset TEXT NOT NULL,
+                seed INTEGER NOT NULL, scale REAL NOT NULL,
+                config_hash TEXT NOT NULL, strategy TEXT NOT NULL,
+                error_rate REAL NOT NULL DEFAULT 0.0, status TEXT NOT NULL,
+                config_json TEXT NOT NULL,
+                questions_asked INTEGER NOT NULL DEFAULT 0,
+                result_json TEXT, error TEXT,
+                created_at TEXT NOT NULL, updated_at TEXT NOT NULL
+            );
+            INSERT INTO runs VALUES ('r1', 'iimb', 0, 0.2, 'h', 'remp', 0.0,
+                                     'done', '{}', 3, NULL, NULL, 't0', 't1');
+            """
+        )
+        conn.commit()
+        conn.close()
+        with RunStore(path) as store:
+            record = store.get_run("r1")
+            assert record is not None
+            assert record.workers is None
+            assert store.create_run("iimb", 0, 0.2, None, workers=2)
+
+
+class TestShardCheckpoints:
+    def _checkpoint(self) -> LoopCheckpoint:
+        return LoopCheckpoint(
+            next_loop_index=1,
+            questions_asked=2,
+            history=[],
+            loop_state={
+                "priors": [["a", "b", 0.5]],
+                "labeled_matches": [["a", "b"]],
+                "inferred_matches": [],
+                "resolved_matches": [["a", "b"]],
+                "resolved_non_matches": [],
+            },
+            answer_log=[],
+        )
+
+    def test_loop_and_done_round_trip(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, None, workers=2)
+            store.save_shard_checkpoint(run_id, 0, self._checkpoint())
+            result = RempResult(matches={("a", "b")}, questions_asked=2, num_loops=1)
+            store.save_shard_result(run_id, 1, result, {"priors": []})
+            records = store.load_shard_records(run_id)
+            assert set(records) == {0, 1}
+            kind, checkpoint = records[0]
+            assert kind == "loop"
+            assert checkpoint.questions_asked == 2
+            kind, stored_result, snapshot = records[1]
+            assert kind == "done"
+            assert stored_result.matches == {("a", "b")}
+            assert snapshot == {"priors": []}
+
+    def test_done_overwrites_loop(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, None, workers=2)
+            store.save_shard_checkpoint(run_id, 0, self._checkpoint())
+            result = RempResult(matches=set(), questions_asked=2, num_loops=1)
+            store.save_shard_result(run_id, 0, result, {})
+            assert store.load_shard_records(run_id)[0][0] == "done"
+
+    def test_finish_run_clears_shard_rows(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, None, workers=2)
+            store.save_shard_checkpoint(run_id, 0, self._checkpoint())
+            assert store.stats()["shard_checkpoints"] == 1
+            store.finish_run(
+                run_id, RempResult(matches=set(), questions_asked=0, num_loops=0)
+            )
+            assert store.load_shard_records(run_id) == {}
+            assert store.stats()["shard_checkpoints"] == 0
+
+    def test_fail_run_keeps_shard_rows(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, None, workers=2)
+            store.save_shard_checkpoint(run_id, 3, self._checkpoint())
+            store.fail_run(run_id, "boom")
+            assert set(store.load_shard_records(run_id)) == {3}
+
+    def test_clear_shard_checkpoints(self, tmp_path):
+        with RunStore(tmp_path / "store.db") as store:
+            run_id = store.create_run("iimb", 0, 0.2, None, workers=2)
+            store.save_shard_checkpoint(run_id, 0, self._checkpoint())
+            store.save_shard_checkpoint(run_id, 1, self._checkpoint())
+            assert store.clear_shard_checkpoints(run_id) == 2
+            assert store.load_shard_records(run_id) == {}
+
 
 class TestCheckpointSerialization:
     def test_round_trip(self):

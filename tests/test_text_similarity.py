@@ -1,6 +1,5 @@
 """Tests for string and numeric similarity measures."""
 
-import math
 
 import pytest
 from hypothesis import given
