@@ -18,6 +18,10 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.partition` — partitioned parallel execution: the ER graph
   sharded into entity-closure components and run across a process pool,
   with per-shard checkpoints and a deterministic merge
+* :mod:`repro.stream` — incremental KB-delta matching: composable
+  :class:`~repro.stream.KBDelta` edits, closure-local re-preparation and
+  a delta-aware run driver whose incremental results are byte-identical
+  to from-scratch runs on the post-delta KBs
 """
 
 from repro.core import Remp, RempConfig
@@ -27,13 +31,15 @@ from repro.eval import evaluate_matches
 from repro.kb import KnowledgeBase
 from repro.service import MatchingService
 from repro.store import RunStore
+from repro.stream import KBDelta
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Remp",
     "RempConfig",
     "CrowdPlatform",
+    "KBDelta",
     "KnowledgeBase",
     "RunStore",
     "MatchingService",

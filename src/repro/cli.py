@@ -12,7 +12,14 @@ Commands
     ``--workers N`` the ER graph is sharded into entity-closure
     components and executed on ``N`` processes (``repro.partition``),
     with per-shard checkpoints and a live per-partition status line; the
-    merged result is identical for every ``N``.
+    merged result is identical for every ``N``.  With ``--stream`` the
+    run executes unit-wise and records per-unit outcomes, making it the
+    root of an updatable lineage; ``--since RUN_ID --steps K`` advances
+    an ``evolving``-dataset stream run incrementally to step ``K``.
+``update``
+    Apply a KB delta (a JSON file) to a finished stream run: only the
+    entity closures the delta touches are re-prepared and re-run, the
+    rest is reused verbatim (``repro.stream``).
 ``partition``
     Inspect the shard layout (``partition info DATASET``).
 ``serve-batch``
@@ -37,7 +44,7 @@ from pathlib import Path
 
 from repro.core import Remp, RempConfig
 from repro.crowd import CrowdPlatform
-from repro.datasets import DATASET_NAMES, load_dataset
+from repro.datasets import DATASET_NAMES, EVOLVING_NAME, load_dataset
 from repro.eval import evaluate_matches
 from repro.kb import describe, save_kb_json
 from repro.partition import (
@@ -48,6 +55,10 @@ from repro.partition import (
 )
 from repro.service import MatchingService
 from repro.store import RunStore
+from repro.stream import DeltaConflictError, KBDelta
+
+#: Datasets the ``run`` family of commands accepts.
+RUN_DATASET_CHOICES = DATASET_NAMES + (EVOLVING_NAME,)
 
 #: Default store location; overridable per-command or via REPRO_STORE.
 DEFAULT_STORE = ".repro/store.db"
@@ -67,12 +78,62 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.dataset is None and args.resume is None:
-        print("run: a dataset is required unless --resume is given", file=sys.stderr)
+    if args.dataset is None and args.resume is None and args.since is None:
+        print(
+            "run: a dataset is required unless --resume or --since is given",
+            file=sys.stderr,
+        )
         return 2
     if args.workers is not None and args.workers < 1:
         print("run: --workers must be at least 1", file=sys.stderr)
         return 2
+    has_store = bool(args.store or os.environ.get("REPRO_STORE"))
+    if args.stream and not has_store:
+        print("run: --stream requires --store (or REPRO_STORE)", file=sys.stderr)
+        return 2
+    if args.stream and args.budget is not None:
+        print("run: --stream does not support --budget", file=sys.stderr)
+        return 2
+    if args.steps is not None and args.since is None:
+        print("run: --steps only applies with --since", file=sys.stderr)
+        return 2
+    if args.since is not None:
+        if not has_store:
+            print("run: --since requires --store (or REPRO_STORE)", file=sys.stderr)
+            return 2
+        if args.resume or args.dataset is not None:
+            print(
+                "run: --since cannot be combined with a dataset or --resume",
+                file=sys.stderr,
+            )
+            return 2
+        # Like --resume: the lineage continues under the stored run's
+        # configuration, so flags that would silently be ignored are
+        # rejected instead.
+        conflicting = [
+            name
+            for name, given in (
+                ("--mu", args.mu != 10),
+                ("--tau", args.tau != 0.9),
+                ("--budget", args.budget is not None),
+                ("--error-rate", args.error_rate != 0.05),
+                ("--seed", args.seed != 0),
+                ("--scale", args.scale != 1.0),
+                ("--stream", args.stream),
+            )
+            if given
+        ]
+        if conflicting:
+            print(
+                f"run: {', '.join(conflicting)} cannot be combined with --since; "
+                "the stored lineage's dataset and config are used",
+                file=sys.stderr,
+            )
+            return 2
+        if args.steps is None or args.steps < 1:
+            print("run: --since requires --steps K (K >= 1)", file=sys.stderr)
+            return 2
+        return _run_since(args)
     if args.resume:
         # A resumed run continues under its stored configuration; flags
         # that would silently be ignored are rejected instead.
@@ -83,6 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ("--mu", args.mu != 10),
                 ("--tau", args.tau != 0.9),
                 ("--budget", args.budget is not None),
+                ("--stream", args.stream),
             )
             if given
         ]
@@ -170,6 +232,7 @@ def _run_via_service(args: argparse.Namespace, config: RempConfig) -> int:
                 background=False,
                 workers=args.workers,
                 on_event=progress,
+                stream=args.stream,
             )
             dataset, seed, scale = args.dataset, args.seed, args.scale
         try:
@@ -177,8 +240,124 @@ def _run_via_service(args: argparse.Namespace, config: RempConfig) -> int:
         finally:
             if progress is not None:
                 progress.close()
-        bundle = load_dataset(dataset, seed=seed, scale=scale)
-        _print_run_summary(result, bundle.gold_matches, run_id=run_id)
+        record = service.store.get_run(run_id)
+        if record is not None and record.streaming:
+            # Stream runs match an evolved KB pair; fold the lineage's
+            # gold updates instead of reading the base dataset's.
+            gold = service.stream_truth(run_id)
+        else:
+            gold = load_dataset(dataset, seed=seed, scale=scale).gold_matches
+        _print_run_summary(result, gold, run_id=run_id)
+    return 0
+
+
+def _run_since(args: argparse.Namespace) -> int:
+    """``run --since RUN_ID --steps K``: advance an evolving stream run."""
+    from repro.datasets import evolving_bundle
+
+    with MatchingService(_store_path(args), max_workers=1) as service:
+        record = service.store.get_run(args.since)
+        if record is None:
+            print(f"run: unknown run {args.since!r}", file=sys.stderr)
+            return 1
+        if not record.streaming or record.kb_fingerprint is None:
+            print(
+                f"run: {args.since!r} is not a stream run (or predates the "
+                "lineage migration); submit it with --stream first",
+                file=sys.stderr,
+            )
+            return 1
+        if record.dataset != EVOLVING_NAME:
+            print(
+                f"run: --since generates deltas for the {EVOLVING_NAME!r} "
+                f"dataset; run {args.since!r} matched {record.dataset!r}",
+                file=sys.stderr,
+            )
+            return 1
+        current_step = record.stream_step or 0
+        if args.steps <= current_step:
+            print(
+                f"run: {args.since!r} is already at step {current_step}; "
+                f"--steps must exceed it",
+                file=sys.stderr,
+            )
+            return 1
+        evolving = evolving_bundle(
+            seed=record.seed, scale=record.scale, steps=args.steps
+        )
+        run_id = args.since
+        try:
+            for step in range(current_step + 1, args.steps + 1):
+                # One printer per step: the live status line aggregates
+                # per-shard state, which must not leak across runs.
+                progress = ShardProgressPrinter()
+                try:
+                    run_id = service.update(
+                        run_id,
+                        evolving.deltas[step - 1],
+                        workers=args.workers,
+                        background=False,
+                        on_event=progress,
+                    )
+                    result = service.result(run_id)
+                finally:
+                    progress.close()
+                outcome = service.stream_outcome(run_id)
+                print(
+                    f"step {step}: run={run_id} "
+                    f"reused={len(outcome.reused_keys)}/{len(outcome.records)} "
+                    f"new-questions={outcome.questions_new}"
+                )
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            print(f"run: cannot update: {message}", file=sys.stderr)
+            return 1
+        _print_run_summary(result, evolving.gold_at(args.steps), run_id=run_id)
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """``update RUN_ID --delta FILE``: apply one KB delta incrementally."""
+    delta_path = Path(args.delta)
+    if not delta_path.exists():
+        print(f"update: no such delta file {args.delta!r}", file=sys.stderr)
+        return 2
+    try:
+        delta = KBDelta.from_doc(json.loads(delta_path.read_text()))
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        print(f"update: malformed delta file: {exc}", file=sys.stderr)
+        return 2
+    progress = ShardProgressPrinter()
+    with MatchingService(_store_path(args), max_workers=1) as service:
+        try:
+            run_id = service.update(
+                args.run_id,
+                delta,
+                workers=args.workers,
+                background=False,
+                on_event=progress,
+            )
+            result = service.result(run_id)
+        except KeyError:
+            progress.close()
+            print(f"update: unknown run {args.run_id!r}", file=sys.stderr)
+            return 1
+        except DeltaConflictError as exc:
+            progress.close()
+            print(f"update: delta conflicts with the cached KBs: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            progress.close()
+            print(f"update: {exc}", file=sys.stderr)
+            return 1
+        progress.close()
+        outcome = service.stream_outcome(run_id)
+        _print_run_summary(result, service.stream_truth(run_id), run_id=run_id)
+        if outcome is not None:
+            print(
+                f"reused {len(outcome.reused_keys)}/{len(outcome.records)} units, "
+                f"{outcome.questions_new} newly billed question(s)"
+            )
     return 0
 
 
@@ -234,6 +413,16 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             "error_rate", "status", "questions_asked", "created_at", "updated_at",
         ):
             print(f"{key}: {getattr(record, key)}")
+        if record.streaming:
+            print(f"stream_step: {record.stream_step}")
+            print(f"kb_fingerprint: {record.kb_fingerprint}")
+            chain = store.lineage(args.run_id)
+            if len(chain) > 1:
+                print("lineage: " + " -> ".join(r.run_id for r in chain))
+            units = store.load_unit_record_docs(args.run_id)
+            if units:
+                reusable = sum(1 for doc in units.values() if doc["kind"] == "graph")
+                print(f"stream units: {len(units)} recorded ({reusable} reusable)")
         checkpoint = store.load_checkpoint(args.run_id)
         if checkpoint is not None:
             print(
@@ -327,7 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_datasets.set_defaults(func=_cmd_datasets)
 
     p_run = sub.add_parser("run", help="run the Remp pipeline on a dataset")
-    p_run.add_argument("dataset", nargs="?", choices=DATASET_NAMES)
+    p_run.add_argument("dataset", nargs="?", choices=RUN_DATASET_CHOICES)
     p_run.add_argument("--scale", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--mu", type=int, default=10)
@@ -350,7 +539,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="partitioned execution: shard the ER graph and run on N"
         " processes (the merged result is identical for every N)",
     )
+    p_run.add_argument(
+        "--stream", action="store_true",
+        help="run unit-wise and record per-unit outcomes, making this the"
+        " root of an updatable lineage (requires --store)",
+    )
+    p_run.add_argument(
+        "--since", default=None, metavar="RUN_ID",
+        help="advance an evolving-dataset stream run incrementally"
+        " (combine with --steps K)",
+    )
+    p_run.add_argument(
+        "--steps", type=int, default=None, metavar="K",
+        help="target stream step for --since",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_update = sub.add_parser(
+        "update", help="apply a KB delta to a finished stream run"
+    )
+    p_update.add_argument("run_id")
+    p_update.add_argument(
+        "--delta", required=True, metavar="FILE",
+        help="JSON file holding a KBDelta document",
+    )
+    p_update.add_argument("--workers", type=int, default=None, metavar="N")
+    p_update.add_argument("--store", default=None)
+    p_update.set_defaults(func=_cmd_update)
 
     p_partition = sub.add_parser("partition", help="inspect the partition layer")
     partition_sub = p_partition.add_subparsers(dest="partition_command", required=True)

@@ -9,6 +9,7 @@ entities.  See DESIGN.md §3 for the substitution rationale.
 """
 
 from repro.datasets.clustered import clustered_bundle
+from repro.datasets.evolving import EvolvingBundle, evolving_bundle
 from repro.datasets.synthesis import (
     AttributeSpec,
     DatasetBundle,
@@ -18,7 +19,7 @@ from repro.datasets.synthesis import (
     WorldConfig,
     generate_dataset,
 )
-from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.registry import DATASET_NAMES, EVOLVING_NAME, load_dataset
 
 __all__ = [
     "AttributeSpec",
@@ -27,8 +28,11 @@ __all__ = [
     "NoiseConfig",
     "WorldConfig",
     "DatasetBundle",
+    "EvolvingBundle",
     "clustered_bundle",
+    "evolving_bundle",
     "generate_dataset",
     "load_dataset",
     "DATASET_NAMES",
+    "EVOLVING_NAME",
 ]

@@ -10,6 +10,10 @@ from repro.datasets.synthesis import DatasetBundle, generate_dataset
 #: Canonical dataset order used throughout the experiments (Table II order).
 DATASET_NAMES: tuple[str, ...] = ("iimb", "dblp_acm", "imdb_yago", "dbpedia_yago")
 
+#: The evolving-KB dataset (``repro.stream``); loads as its step-0 base
+#: world, with deltas available via :func:`repro.datasets.evolving_bundle`.
+EVOLVING_NAME = "evolving"
+
 #: Short display names matching the paper's abbreviations.
 DISPLAY_NAMES: dict[str, str] = {
     "iimb": "IIMB",
@@ -34,10 +38,17 @@ def load_dataset(name: str, seed: int = 0, scale: float = 1.0) -> DatasetBundle:
         entities per KB; experiments use smaller scales where many runs
         are needed).
     """
+    if name == EVOLVING_NAME:
+        from repro.datasets.evolving import evolving_bundle
+
+        return evolving_bundle(seed=seed, scale=scale).base
     try:
         builder = PROFILE_BUILDERS[name]
     except KeyError:
-        raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}") from None
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of "
+            f"{DATASET_NAMES + (EVOLVING_NAME,)}"
+        ) from None
     bundle = generate_dataset(builder(scale), seed=seed)
     bundle.scale = scale
     return bundle

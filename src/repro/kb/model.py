@@ -66,6 +66,11 @@ class KnowledgeBase:
         self._rel_sources: dict[str, dict[str, set[str]]] = {}
         self._attributes: set[str] = set()
         self._relationships: set[str] = set()
+        # Per-property triple counts, so removal can retire a property
+        # name once its last triple goes (keeps the vocabulary sets
+        # equal to a freshly-built KB's).
+        self._attr_counts: dict[str, int] = {}
+        self._rel_counts: dict[str, int] = {}
         self._n_attr_triples = 0
         self._n_rel_triples = 0
 
@@ -86,6 +91,7 @@ class KnowledgeBase:
         if literal not in values:
             values.add(literal)
             self._n_attr_triples += 1
+            self._attr_counts[attribute] = self._attr_counts.get(attribute, 0) + 1
 
     def add_relationship_triple(self, subject: str, relationship: str, obj: str) -> None:
         """Add ``(subject, relationship, object)`` to the relationship triples."""
@@ -96,6 +102,7 @@ class KnowledgeBase:
         if obj not in objs:
             objs.add(obj)
             self._n_rel_triples += 1
+            self._rel_counts[relationship] = self._rel_counts.get(relationship, 0) + 1
             self._rel_sources.setdefault(obj, {}).setdefault(relationship, set()).add(subject)
 
     def add_triples(self, triples: Iterable[Triple]) -> None:
@@ -104,6 +111,106 @@ class KnowledgeBase:
                 self.add_relationship_triple(t.subject, t.prop, str(t.value))
             else:
                 self.add_attribute_triple(t.subject, t.prop, t.value)
+
+    # ------------------------------------------------------------------
+    # Mutation (KB deltas, repro.stream)
+    # ------------------------------------------------------------------
+    def remove_attribute_triple(self, entity: str, attribute: str, literal: object) -> bool:
+        """Remove ``(entity, attribute, literal)``; returns whether it existed.
+
+        Empty value sets are pruned so the indexes look exactly as if the
+        triple had never been added — the incremental preparer relies on
+        a mutated KB being indistinguishable from a freshly-built one.
+        """
+        by_attr = self._attr_values.get(entity)
+        if by_attr is None:
+            return False
+        values = by_attr.get(attribute)
+        if values is None or literal not in values:
+            return False
+        values.discard(literal)
+        self._n_attr_triples -= 1
+        remaining = self._attr_counts.get(attribute, 1) - 1
+        if remaining <= 0:
+            self._attr_counts.pop(attribute, None)
+            self._attributes.discard(attribute)
+        else:
+            self._attr_counts[attribute] = remaining
+        if not values:
+            del by_attr[attribute]
+        if not by_attr:
+            del self._attr_values[entity]
+        return True
+
+    def remove_relationship_triple(self, subject: str, relationship: str, obj: str) -> bool:
+        """Remove ``(subject, relationship, object)``; returns whether it existed."""
+        by_rel = self._rel_values.get(subject)
+        if by_rel is None:
+            return False
+        objs = by_rel.get(relationship)
+        if objs is None or obj not in objs:
+            return False
+        objs.discard(obj)
+        self._n_rel_triples -= 1
+        remaining = self._rel_counts.get(relationship, 1) - 1
+        if remaining <= 0:
+            self._rel_counts.pop(relationship, None)
+            self._relationships.discard(relationship)
+        else:
+            self._rel_counts[relationship] = remaining
+        if not objs:
+            del by_rel[relationship]
+        if not by_rel:
+            del self._rel_values[subject]
+        sources = self._rel_sources.get(obj, {})
+        subjects = sources.get(relationship)
+        if subjects is not None:
+            subjects.discard(subject)
+            if not subjects:
+                del sources[relationship]
+            if not sources and obj in self._rel_sources:
+                del self._rel_sources[obj]
+        return True
+
+    def remove_entity(self, entity: str) -> bool:
+        """Remove ``entity`` and every triple mentioning it."""
+        if entity not in self._entities:
+            return False
+        for attribute, literals in list(self._attr_values.get(entity, {}).items()):
+            for literal in list(literals):
+                self.remove_attribute_triple(entity, attribute, literal)
+        for relationship, objs in list(self._rel_values.get(entity, {}).items()):
+            for obj in list(objs):
+                self.remove_relationship_triple(entity, relationship, obj)
+        for relationship, subjects in list(self._rel_sources.get(entity, {}).items()):
+            for subject in list(subjects):
+                self.remove_relationship_triple(subject, relationship, entity)
+        self._entities.discard(entity)
+        return True
+
+    def copy(self, name: str | None = None) -> "KnowledgeBase":
+        """An independent deep copy (delta application never mutates in place)."""
+        clone = KnowledgeBase(name or self.name)
+        clone._entities = set(self._entities)
+        clone._attr_values = {
+            entity: {attr: set(values) for attr, values in by_attr.items()}
+            for entity, by_attr in self._attr_values.items()
+        }
+        clone._rel_values = {
+            entity: {rel: set(objs) for rel, objs in by_rel.items()}
+            for entity, by_rel in self._rel_values.items()
+        }
+        clone._rel_sources = {
+            entity: {rel: set(subjects) for rel, subjects in by_rel.items()}
+            for entity, by_rel in self._rel_sources.items()
+        }
+        clone._attributes = set(self._attributes)
+        clone._relationships = set(self._relationships)
+        clone._attr_counts = dict(self._attr_counts)
+        clone._rel_counts = dict(self._rel_counts)
+        clone._n_attr_triples = self._n_attr_triples
+        clone._n_rel_triples = self._n_rel_triples
+        return clone
 
     # ------------------------------------------------------------------
     # Accessors

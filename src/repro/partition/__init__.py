@@ -29,9 +29,12 @@ from repro.partition.runner import (
     CrowdSpec,
     ParallelRunner,
     ShardEvent,
+    UnitRecord,
+    content_seed,
     merge_shard_results,
     shard_seed,
     split_budget,
+    unit_content_key,
 )
 
 __all__ = [
@@ -42,10 +45,13 @@ __all__ = [
     "Shard",
     "ShardEvent",
     "ShardProgressPrinter",
+    "UnitRecord",
+    "content_seed",
     "entity_closure_components",
     "merge_shard_results",
     "pack_components",
     "partition_state",
     "shard_seed",
     "split_budget",
+    "unit_content_key",
 ]

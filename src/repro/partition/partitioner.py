@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+from repro.core.candidates import CandidateSet
 from repro.core.pipeline import PreparedState
 
 Pair = tuple[str, str]
@@ -130,7 +131,7 @@ class Shard:
         """Pairs the human–machine loop can actually work on."""
         return len(self.vertices) - self.num_riders
 
-    def slice(self, state: PreparedState) -> PreparedState:
+    def slice(self, state: PreparedState, *, localize: bool = False) -> PreparedState:
         """Materialize this shard's self-contained state slice.
 
         Graph shards restrict the base state to their vertices (with no
@@ -138,10 +139,35 @@ class Shard:
         shards keep the full retained set, vectors and signatures (the
         classifier's neighborhoods span all retained pairs) with
         ``isolated`` cut down to this shard's pairs.
+
+        With ``localize`` (the stream layer's setting) a graph shard's
+        candidate set — in particular the initial matches ``M_in`` that
+        seed consistency estimation — is restricted to the shard's own
+        entities.  That makes the shard's execution a pure function of
+        its slice: a KB edit elsewhere cannot shift its relationship
+        statistics, which is what lets :mod:`repro.stream` reuse a clean
+        shard's recorded outcome verbatim.
         """
-        if self.kind == GRAPH:
-            return state.restrict(set(self.vertices), isolated=set())
-        return replace(state, isolated=set(self.vertices))
+        if self.kind != GRAPH:
+            return replace(state, isolated=set(self.vertices))
+        sliced = state.restrict(set(self.vertices), isolated=set())
+        if localize:
+            left = {pair[0] for pair in self.vertices}
+            right = {pair[1] for pair in self.vertices}
+            candidates = state.candidates
+            pairs = {
+                pair
+                for pair in candidates.pairs
+                if pair[0] in left and pair[1] in right
+            }
+            sliced.candidates = CandidateSet(
+                pairs=pairs,
+                priors={pair: candidates.priors[pair] for pair in pairs},
+                initial_matches={
+                    pair for pair in candidates.initial_matches if pair in pairs
+                },
+            )
+        return sliced
 
 
 @dataclass(slots=True)

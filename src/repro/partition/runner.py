@@ -62,6 +62,25 @@ def shard_seed(seed: int, shard_id: int) -> int:
     return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big") >> 1
 
 
+def unit_content_key(vertices) -> str:
+    """Content identity of a shard: a digest of its sorted vertex list.
+
+    Positional shard ids shift whenever the partition layout does; the
+    content key survives any layout change that leaves the shard's
+    vertex set intact, which is what lets :mod:`repro.stream` match a
+    clean shard against a record from an earlier run of a *different*
+    prepared state.
+    """
+    blob = "\x1e".join(f"{left}\x1f{right}" for left, right in sorted(vertices))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+def content_seed(seed: int, key: str) -> int:
+    """Stable 63-bit seed derived from the run seed and a content key."""
+    blob = f"{seed}\x1f{key}".encode()
+    return int.from_bytes(hashlib.blake2b(blob, digest_size=8).digest(), "big") >> 1
+
+
 @dataclass(slots=True)
 class CrowdSpec:
     """A picklable recipe for building per-shard crowd platforms.
@@ -88,6 +107,22 @@ class CrowdSpec:
             error_rate=self.error_rate,
             workers_per_question=self.workers_per_question,
             seed=shard_seed(self.seed, shard_id),
+        )
+
+    def build_seeded(self, platform_seed: int) -> CrowdPlatform:
+        """Like :meth:`build`, but from a pre-derived platform seed.
+
+        Used by the stream layer, whose per-unit seeds derive from shard
+        *content* rather than position so they survive layout changes.
+        """
+        if self.error_rate <= 0.0:
+            return CrowdPlatform.with_oracle(set(self.truth))
+        return CrowdPlatform.with_simulated_workers(
+            set(self.truth),
+            num_workers=self.num_workers,
+            error_rate=self.error_rate,
+            workers_per_question=self.workers_per_question,
+            seed=platform_seed,
         )
 
 
@@ -137,16 +172,42 @@ class _ShardTask:
     seed: int
     checkpoint: LoopCheckpoint | None = None
     merged_snapshot: dict | None = None  # isolated shards only
+    #: Content-derived seed overrides (stream mode); ``None`` falls back
+    #: to the positional ``shard_seed(seed, shard_id)`` derivation.
+    remp_seed: int | None = None
+    platform_seed: int | None = None
+    #: Restrict the slice's candidate set to the shard's entities.
+    localize: bool = False
 
 
 @dataclass(slots=True)
 class _ShardOutcome:
-    """A finished shard: its partial result and final loop snapshot."""
+    """A finished shard: its partial result, loop snapshot and answer log."""
 
     shard_id: int
     kind: str
     result: RempResult
     snapshot: dict = field(default_factory=dict)
+    answer_log: list = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class UnitRecord:
+    """One shard's durable outcome, addressed by content key.
+
+    The stream layer persists these per run; a later incremental run
+    reuses a record verbatim when the shard's content key still matches
+    and none of its pairs are dirty.  ``answer_log`` carries the crowd
+    labels the shard collected, so new-spend accounting can tell a
+    replayed question from a genuinely new one.
+    """
+
+    key: str
+    kind: str
+    result: RempResult
+    snapshot: dict = field(default_factory=dict)
+    answer_log: list = field(default_factory=list)
+    reused: bool = False
 
 
 def _execute_shard(
@@ -164,9 +225,18 @@ def _execute_shard(
     """
     shard = task.shard
     phase = shard.kind
-    shard_state = shard.slice(base_state)
-    remp = Remp(task.config, seed=shard_seed(task.seed, shard.shard_id))
-    platform = crowd.build(shard.shard_id)
+    shard_state = shard.slice(base_state, localize=task.localize)
+    remp_seed = (
+        task.remp_seed
+        if task.remp_seed is not None
+        else shard_seed(task.seed, shard.shard_id)
+    )
+    remp = Remp(task.config, seed=remp_seed)
+    platform = (
+        crowd.build_seeded(task.platform_seed)
+        if task.platform_seed is not None
+        else crowd.build(shard.shard_id)
+    )
     emit(
         (
             "event",
@@ -203,7 +273,11 @@ def _execute_shard(
         )
         result = assemble_result(loop_state, set(), questions, history)
         outcome = _ShardOutcome(
-            shard.shard_id, shard.kind, result, loop_state.snapshot()
+            shard.shard_id,
+            shard.kind,
+            result,
+            loop_state.snapshot(),
+            answer_log=platform.export_answer_log(),
         )
     else:
         # Classifier-only shard: restore the merged phase-1 resolutions
@@ -223,7 +297,12 @@ def _execute_shard(
             isolated_matches=isolated_matches,
             non_matches=loop_state.resolved_non_matches - base_non_matches,
         )
-        outcome = _ShardOutcome(shard.shard_id, shard.kind, result)
+        outcome = _ShardOutcome(
+            shard.shard_id,
+            shard.kind,
+            result,
+            answer_log=platform.export_answer_log(),
+        )
     emit(
         (
             "event",
@@ -302,6 +381,15 @@ class ParallelRunner:
         id; enables per-shard checkpointing and :meth:`run` resume.
     on_event:
         Callback receiving every :class:`ShardEvent`.
+    localize, content_seeds, dirty, reuse, collect_records:
+        The stream-mode knobs (:mod:`repro.stream`).  ``localize``
+        restricts each graph shard's candidate set to its own entities;
+        ``content_seeds`` derives per-shard Remp and crowd seeds from the
+        shard's *content key* instead of its positional id; ``dirty``
+        (a pair set) plus ``reuse`` (content-keyed :class:`UnitRecord`
+        map from a previous run) let clean shards restore a recorded
+        outcome instead of executing; ``collect_records`` populates
+        :attr:`unit_records` with every shard's durable outcome.
     """
 
     def __init__(
@@ -317,11 +405,21 @@ class ParallelRunner:
         store=None,
         run_id: str | None = None,
         on_event=None,
+        localize: bool = False,
+        content_seeds: bool = False,
+        dirty: set[Pair] | None = None,
+        reuse: dict[str, UnitRecord] | None = None,
+        collect_records: bool = False,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
         if store is not None and run_id is None:
             raise ValueError("run_id is required when a store is attached")
+        if (dirty is not None or reuse) and not content_seeds:
+            raise ValueError(
+                "dirty/reuse require content_seeds: positional seeds change "
+                "with the layout, so a reused record would not match"
+            )
         self.config = config or RempConfig()
         self.seed = seed
         self.workers = workers
@@ -332,6 +430,16 @@ class ParallelRunner:
         self._store = store
         self._run_id = run_id
         self._on_event = on_event
+        self._localize = localize
+        self._content_seeds = content_seeds
+        self._dirty = dirty
+        self._reuse = reuse or {}
+        self._collect_records = collect_records
+        #: Content-keyed durable outcomes of the last :meth:`run`
+        #: (populated when ``collect_records`` is set).
+        self.unit_records: dict[str, UnitRecord] = {}
+        #: Content keys restored from ``reuse`` during the last run.
+        self.reused_keys: set[str] = set()
 
     # ------------------------------------------------------------------
     def plan(self, state: PreparedState) -> PartitionPlan:
@@ -348,6 +456,9 @@ class ParallelRunner:
         plan = self.plan(state)
         stored = self._load_shard_records()
         outcomes: dict[int, _ShardOutcome] = {}
+        self.unit_records = {}
+        self.reused_keys = set()
+        keys = self._shard_keys(plan)
 
         graph_shards = plan.graph_shards
         # Weight by loop pairs: rider isolated pairs can never consume a
@@ -357,17 +468,17 @@ class ParallelRunner:
         )
         tasks: list[_ShardTask] = []
         for shard, budget in zip(graph_shards, budgets):
-            task = _ShardTask(
-                shard=shard,
-                config=replace(self.config, budget=budget),
-                strategy=self.strategy,
-                seed=self.seed,
+            task = self._make_task(
+                shard, replace(self.config, budget=budget), keys[shard.shard_id]
             )
-            if not self._restore_outcome(shard, stored, outcomes):
-                record = stored.get(shard.shard_id)
-                if record is not None and record[0] == "loop":
-                    task.checkpoint = record[1]
-                tasks.append(task)
+            if self._restore_outcome(shard, stored, outcomes):
+                continue
+            if self._reuse_outcome(shard, keys[shard.shard_id], outcomes):
+                continue
+            record = stored.get(shard.shard_id)
+            if record is not None and record[0] == "loop":
+                task.checkpoint = record[1]
+            tasks.append(task)
         self._execute(tasks, state, crowd, outcomes)
 
         merged_snapshot = merge_loop_snapshots(
@@ -381,20 +492,96 @@ class ParallelRunner:
         isolated_tasks: list[_ShardTask] = []
         for shard in plan.isolated_shards:
             if not self._restore_outcome(shard, stored, outcomes):
-                isolated_tasks.append(
-                    _ShardTask(
-                        shard=shard,
-                        config=self.config,
-                        strategy=self.strategy,
-                        seed=self.seed,
-                        merged_snapshot=merged_snapshot,
-                    )
-                )
+                task = self._make_task(shard, self.config, keys[shard.shard_id])
+                task.merged_snapshot = merged_snapshot
+                isolated_tasks.append(task)
         self._execute(isolated_tasks, state, crowd, outcomes)
+
+        if self._collect_records:
+            for shard in plan.shards:
+                outcome = outcomes.get(shard.shard_id)
+                if outcome is None:
+                    continue
+                key = keys[shard.shard_id]
+                self.unit_records[key] = UnitRecord(
+                    key=key,
+                    kind=shard.kind,
+                    result=outcome.result,
+                    snapshot=outcome.snapshot,
+                    answer_log=outcome.answer_log,
+                    reused=key in self.reused_keys,
+                )
 
         return merge_shard_results(
             [(shard_id, outcome.result) for shard_id, outcome in outcomes.items()]
         )
+
+    def _shard_keys(self, plan: PartitionPlan) -> dict[int, str]:
+        """Content keys per shard id (isolated shards keyed by position)."""
+        keys: dict[int, str] = {}
+        for shard in plan.graph_shards:
+            keys[shard.shard_id] = unit_content_key(shard.vertices)
+        for index, shard in enumerate(plan.isolated_shards):
+            keys[shard.shard_id] = f"isolated\x1f{index}"
+        return keys
+
+    def _make_task(self, shard: Shard, config: RempConfig, key: str) -> _ShardTask:
+        task = _ShardTask(
+            shard=shard,
+            config=config,
+            strategy=self.strategy,
+            seed=self.seed,
+            localize=self._localize and shard.kind == GRAPH,
+        )
+        if self._content_seeds:
+            task.remp_seed = content_seed(self.seed, key)
+            task.platform_seed = content_seed(self.seed, "crowd\x1f" + key)
+        return task
+
+    def _reuse_outcome(
+        self, shard: Shard, key: str, outcomes: dict[int, _ShardOutcome]
+    ) -> bool:
+        """Restore a clean shard from a previous run's content-keyed record.
+
+        A shard qualifies only when a dirty set was provided, none of its
+        pairs are in it, and the reuse map holds its exact content key —
+        equal key means equal vertex set, and a clean vertex set means an
+        identical slice, so the recorded outcome is what execution would
+        reproduce bit for bit.
+        """
+        if self._dirty is None:
+            return False
+        record = self._reuse.get(key)
+        if record is None or self._dirty.intersection(shard.vertices):
+            return False
+        outcomes[shard.shard_id] = _ShardOutcome(
+            shard.shard_id,
+            shard.kind,
+            record.result,
+            record.snapshot,
+            answer_log=record.answer_log,
+        )
+        self.reused_keys.add(key)
+        if self._store is not None:
+            self._store.save_shard_result(
+                self._run_id,
+                shard.shard_id,
+                record.result,
+                record.snapshot,
+                answer_log=record.answer_log,
+            )
+        self._emit(
+            ShardEvent(
+                shard.shard_id,
+                "restored",
+                shard.kind,
+                pairs=shard.num_pairs,
+                loops=record.result.num_loops,
+                questions=record.result.questions_asked,
+                matches=len(record.result.matches),
+            )
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Resume bookkeeping
@@ -411,9 +598,9 @@ class ParallelRunner:
         record = stored.get(shard.shard_id)
         if record is None or record[0] != "done":
             return False
-        _, result, snapshot = record
+        _, result, snapshot, answer_log = record
         outcomes[shard.shard_id] = _ShardOutcome(
-            shard.shard_id, shard.kind, result, snapshot
+            shard.shard_id, shard.kind, result, snapshot, answer_log=answer_log
         )
         self._emit(
             ShardEvent(
@@ -535,7 +722,11 @@ class ParallelRunner:
         outcomes[outcome.shard_id] = outcome
         if self._store is not None:
             self._store.save_shard_result(
-                self._run_id, outcome.shard_id, outcome.result, outcome.snapshot
+                self._run_id,
+                outcome.shard_id,
+                outcome.result,
+                outcome.snapshot,
+                answer_log=outcome.answer_log,
             )
 
     def _emit(self, event: ShardEvent) -> None:
@@ -548,7 +739,10 @@ __all__ = [
     "CrowdSpec",
     "ParallelRunner",
     "ShardEvent",
+    "UnitRecord",
+    "content_seed",
     "merge_shard_results",
     "shard_seed",
     "split_budget",
+    "unit_content_key",
 ]

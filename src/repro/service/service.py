@@ -20,10 +20,18 @@ one :class:`repro.store.RunStore`:
   components and fanned onto a process pool, checkpointing per shard;
   such runs resume shard-by-shard, and their merged result does not
   depend on the pool size.
+* Sessions submitted with ``stream=True`` execute unit-wise
+  (:mod:`repro.stream`) and persist content-keyed unit records; the
+  :meth:`MatchingService.update` lifecycle verb then applies a
+  :class:`repro.stream.KBDelta` incrementally — re-preparing and
+  re-running only the entity closures the delta touches, reusing every
+  clean unit's recorded outcome and crowd answers, with full lineage
+  (parent run, delta, KB fingerprint) in the ledger.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import traceback
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -40,6 +48,15 @@ from repro.datasets import load_dataset
 from repro.partition import CrowdSpec, ParallelRunner
 from repro.store import RunStore, config_hash
 from repro.store.store import RunRecord
+from repro.stream import (
+    DeltaConflictError,
+    KBDelta,
+    StreamRunner,
+    incremental_prepare,
+    kb_pair_fingerprint,
+    unit_record_from_doc,
+    unit_record_to_doc,
+)
 
 Pair = tuple[str, str]
 
@@ -83,6 +100,10 @@ class MatchingSession:
         prepared_provider,
         workers: int | None = None,
         on_event=None,
+        stream: bool = False,
+        parent_run_id: str | None = None,
+        delta: KBDelta | None = None,
+        stream_provider=None,
     ):
         self.run_id = run_id
         self.dataset = dataset
@@ -94,10 +115,19 @@ class MatchingSession:
         #: Partitioned-run pool size; ``None`` = monolithic stepwise run.
         self.workers = workers
         self.on_event = on_event
+        #: Stream (incremental) session: executes unit-wise through
+        #: :class:`repro.stream.StreamRunner` and keeps unit records.
+        self.stream = stream
+        self.parent_run_id = parent_run_id
+        self.delta = delta
+        #: The last stream execution's :class:`repro.stream.StreamOutcome`
+        #: (reuse/new-spend accounting); ``None`` until the run finishes.
+        self.stream_outcome = None
         self.status = QUEUED
         self.error: str | None = None
         self._store = store
         self._prepared_provider = prepared_provider
+        self._stream_provider = stream_provider
         self._remp = Remp(self.config, seed=seed)
         self._lock = threading.RLock()
         self._loop_state = None
@@ -154,6 +184,11 @@ class MatchingSession:
         Returns ``False`` once the loop has converged (or already
         finished); call :meth:`finalize` afterwards for the result.
         """
+        if self.stream:
+            raise ValueError(
+                "stream sessions advance whole units, not loops; "
+                "use run()/result() instead of step()"
+            )
         if self.workers is not None:
             raise ValueError(
                 "partitioned sessions advance whole shards, not loops; "
@@ -196,6 +231,8 @@ class MatchingSession:
 
     def finalize(self) -> RempResult:
         """Final propagation, isolated-pair classification, ledger write."""
+        if self.stream:
+            return self._run_stream()
         if self.workers is not None:
             return self._run_partitioned()
         with self._lock:
@@ -221,6 +258,8 @@ class MatchingSession:
     def run(self) -> RempResult:
         """Drive the session to completion (the thread-pool entry point)."""
         try:
+            if self.stream:
+                return self._run_stream()
             if self.workers is not None:
                 return self._run_partitioned()
             while self.step():
@@ -274,6 +313,50 @@ class MatchingSession:
             self.status = DONE
             self._store.finish_run(self.run_id, result)
             return result
+
+    def _run_stream(self) -> RempResult:
+        """Execute (or incrementally update) unit-wise via the stream runner.
+
+        The stream provider hands back the prepared state, the dirty
+        pair set and the parent's unit records; clean units restore from
+        those records, dirty ones execute with per-unit checkpoints
+        under ``(run_id, shard_id)`` — so an interrupted update resumes
+        without re-asking a question.  Unit records persist past
+        ``finish_run``: they are what the *next* update reuses.
+        """
+        with self._lock:
+            if self._result is not None:
+                return self._result
+            self.status = PREPARING
+            self._store.update_run_status(self.run_id, PREPARING)
+            state, dirty, reuse, truth = self._stream_provider(self)
+            crowd = CrowdSpec(
+                truth=truth, error_rate=self.error_rate, seed=self.seed
+            )
+            runner = StreamRunner(
+                self.config,
+                seed=self.seed,
+                workers=self.workers or 1,
+                strategy=self.strategy,
+                store=self._store,
+                run_id=self.run_id,
+                on_event=self.on_event,
+            )
+            self.status = RUNNING
+            self._store.update_run_status(self.run_id, RUNNING)
+            outcome = runner.run_incremental(state, crowd, dirty=dirty, reuse=reuse)
+            self._store.replace_unit_records(
+                self.run_id,
+                {
+                    key: unit_record_to_doc(record)
+                    for key, record in outcome.records.items()
+                },
+            )
+            self.stream_outcome = outcome
+            self._result = outcome.result
+            self.status = DONE
+            self._store.finish_run(self.run_id, outcome.result)
+            return self._result
 
     def result(self) -> RempResult | None:
         return self._result
@@ -391,6 +474,7 @@ class MatchingService:
         background: bool = True,
         workers: int | None = None,
         on_event=None,
+        stream: bool = False,
     ) -> str:
         """Register a new run and return its id.
 
@@ -401,6 +485,9 @@ class MatchingService:
         execution (:mod:`repro.partition`): the ER graph is sharded into
         components and run on that many processes, with per-shard
         checkpoints; ``on_event`` receives shard lifecycle events.
+        ``stream`` makes this a *stream root* (step 0 of a delta
+        lineage): it executes unit-wise and persists content-keyed unit
+        records, which is what :meth:`update` later reuses.
         """
         if error_rate is None:
             error_rate = self._default_error_rate
@@ -412,6 +499,7 @@ class MatchingService:
             strategy=strategy,
             error_rate=error_rate,
             workers=workers,
+            stream_step=0 if stream else None,
         )
         session = MatchingSession(
             run_id,
@@ -425,6 +513,8 @@ class MatchingService:
             prepared_provider=self.prepared,
             workers=workers,
             on_event=on_event,
+            stream=stream,
+            stream_provider=self._stream_inputs,
         )
         with self._lock:
             self._sessions[run_id] = session
@@ -432,6 +522,90 @@ class MatchingService:
             with self._lock:
                 self._futures[run_id] = self._executor.submit(session.run)
         return run_id
+
+    def update(
+        self,
+        run_id: str,
+        delta: KBDelta,
+        *,
+        workers: int | None = None,
+        background: bool = True,
+        on_event=None,
+    ) -> str:
+        """Incrementally re-match after a KB delta; returns the new run id.
+
+        ``run_id`` must be a *finished stream run* (submitted with
+        ``stream=True`` or itself produced by ``update``).  The delta is
+        diffed against the cached prepared state; only the entity
+        closures it touches are re-prepared and re-run, prior
+        resolutions and crowd answers for clean closures are reused
+        verbatim, and the new run's result is byte-identical to a
+        from-scratch run on the post-delta KBs.  A delta carrying a
+        ``parent_fingerprint`` that does not match the run's recorded KB
+        fingerprint raises :class:`repro.stream.DeltaConflictError`.
+        ``workers`` defaults to the parent run's pool size, so a lineage
+        started parallel stays parallel across updates.
+        """
+        record = self._store.get_run(run_id)
+        if record is None:
+            raise KeyError(f"unknown run {run_id!r}")
+        if workers is None:
+            workers = record.workers
+        if not record.streaming:
+            raise ValueError(
+                f"run {run_id!r} is not a stream run; submit with stream=True "
+                "to build an updatable lineage"
+            )
+        if record.status != DONE:
+            raise ValueError(
+                f"run {run_id!r} has status {record.status!r}; only finished "
+                "runs can be updated (resume it first)"
+            )
+        if (
+            delta.parent_fingerprint is not None
+            and record.kb_fingerprint is not None
+            and delta.parent_fingerprint != record.kb_fingerprint
+        ):
+            raise DeltaConflictError(
+                f"delta was authored against KB pair "
+                f"{delta.parent_fingerprint}, but run {run_id!r} matched "
+                f"fingerprint {record.kb_fingerprint}"
+            )
+        config = self._store.get_run_config(run_id)
+        new_run_id = self._store.create_run(
+            record.dataset,
+            record.seed,
+            record.scale,
+            config,
+            strategy=record.strategy,
+            error_rate=record.error_rate,
+            workers=workers,
+            parent_run_id=run_id,
+            delta_json=json.dumps(delta.to_doc(), sort_keys=True),
+            stream_step=(record.stream_step or 0) + 1,
+        )
+        session = MatchingSession(
+            new_run_id,
+            dataset=record.dataset,
+            seed=record.seed,
+            scale=record.scale,
+            config=config,
+            strategy=record.strategy,
+            error_rate=record.error_rate,
+            store=self._store,
+            prepared_provider=self.prepared,
+            workers=workers,
+            on_event=on_event,
+            stream=True,
+            parent_run_id=run_id,
+            delta=delta,
+            stream_provider=self._stream_inputs,
+        )
+        with self._lock:
+            self._sessions[new_run_id] = session
+            if background:
+                self._futures[new_run_id] = self._executor.submit(session.run)
+        return new_run_id
 
     def resume(
         self,
@@ -486,12 +660,126 @@ class MatchingService:
             prepared_provider=self.prepared,
             workers=workers if workers is not None else record.workers,
             on_event=on_event,
+            stream=record.streaming,
+            parent_run_id=record.parent_run_id,
+            stream_provider=self._stream_inputs,
         )
         with self._lock:
             self._sessions[run_id] = session
             if background:
                 self._futures[run_id] = self._executor.submit(session.run)
         return run_id
+
+    # ------------------------------------------------------------------
+    # Stream (incremental) plumbing
+    # ------------------------------------------------------------------
+    def _stream_state_for(self, record: RunRecord) -> PreparedState:
+        """The prepared state a finished stream run matched.
+
+        Roots live in the ordinary dataset-keyed cache; updated states
+        are stored under their KB fingerprint.
+        """
+        config = self._store.get_run_config(record.run_id)
+        if record.parent_run_id is None:
+            return self.prepared(record.dataset, record.seed, record.scale, config)
+        if record.kb_fingerprint is None:
+            raise ValueError(
+                f"run {record.run_id!r} predates the lineage migration; "
+                "its prepared state cannot be located"
+            )
+        key = (f"fp:{record.kb_fingerprint}", record.seed, record.scale, config_hash(config))
+        with self._lock:
+            state = self._memory_cache.get(key)
+        if state is not None:
+            return state
+        state = self._store.load_prepared(
+            f"fp:{record.kb_fingerprint}", record.seed, record.scale, config
+        )
+        if state is None:
+            raise ValueError(
+                f"run {record.run_id!r}'s prepared state "
+                f"(fingerprint {record.kb_fingerprint}) is not in the store"
+            )
+        with self._lock:
+            self._memory_cache[key] = state
+        return state
+
+    def _stream_inputs(self, session: MatchingSession):
+        """(state, dirty, reuse, truth) for a stream session.
+
+        Pure given the ledger: a resumed update recomputes the same
+        state, dirty set and reuse records the interrupted run saw.
+        """
+        config = session.config
+        if session.parent_run_id is None:
+            state = self.prepared(
+                session.dataset, session.seed, session.scale, config
+            )
+            self._store.set_run_fingerprint(
+                session.run_id, kb_pair_fingerprint(state.kb1, state.kb2)
+            )
+            bundle = load_dataset(
+                session.dataset, seed=session.seed, scale=session.scale
+            )
+            return state, None, None, set(bundle.gold_matches)
+
+        parent = self._store.get_run(session.parent_run_id)
+        if parent is None:
+            raise KeyError(f"unknown parent run {session.parent_run_id!r}")
+        parent_state = self._stream_state_for(parent)
+        delta = session.delta
+        if delta is None:
+            delta_json = self._store.get_run_delta_json(session.run_id)
+            if delta_json is None:
+                raise ValueError(
+                    f"stream run {session.run_id!r} has no recorded delta"
+                )
+            delta = KBDelta.from_doc(json.loads(delta_json))
+        # The fingerprint guard already ran in update(); a resumed
+        # session replays the recorded delta against the recorded state.
+        prepared = incremental_prepare(
+            parent_state, delta, config, check_fingerprint=False
+        )
+        self._store.set_run_fingerprint(session.run_id, prepared.fingerprint)
+        fp_dataset = f"fp:{prepared.fingerprint}"
+        self._store.save_prepared(
+            fp_dataset, session.seed, session.scale, config, prepared.state
+        )
+        with self._lock:
+            self._memory_cache[
+                (fp_dataset, session.seed, session.scale, config_hash(config))
+            ] = prepared.state
+        reuse = {
+            key: unit_record_from_doc(doc)
+            for key, doc in self._store.load_unit_record_docs(
+                session.parent_run_id
+            ).items()
+        }
+        return prepared.state, prepared.changed, reuse, self.stream_truth(session.run_id)
+
+    def stream_truth(self, run_id: str) -> set:
+        """The simulation gold standard of a stream run's KB pair.
+
+        The root's dataset gold, folded through every delta's
+        ``gold_add``/``gold_remove`` along the lineage.
+        """
+        chain = self._store.lineage(run_id)
+        if not chain:
+            raise KeyError(f"unknown run {run_id!r}")
+        root = chain[0]
+        bundle = load_dataset(root.dataset, seed=root.seed, scale=root.scale)
+        truth = set(bundle.gold_matches)
+        for record in chain[1:]:
+            delta_json = self._store.get_run_delta_json(record.run_id)
+            if delta_json is not None:
+                truth = KBDelta.from_doc(json.loads(delta_json)).apply_gold(truth)
+        return truth
+
+    def stream_outcome(self, run_id: str):
+        """The live session's :class:`repro.stream.StreamOutcome`, if any."""
+        with self._lock:
+            session = self._sessions.get(run_id)
+        return session.stream_outcome if session is not None else None
 
     def _session(self, run_id: str) -> MatchingSession:
         with self._lock:

@@ -67,6 +67,10 @@ CREATE TABLE IF NOT EXISTS runs (
     result_json     TEXT,
     error           TEXT,
     workers         INTEGER,
+    parent_run_id   TEXT,
+    delta_json      TEXT,
+    stream_step     INTEGER,
+    kb_fingerprint  TEXT,
     created_at      TEXT NOT NULL,
     updated_at      TEXT NOT NULL
 );
@@ -83,14 +87,26 @@ CREATE TABLE IF NOT EXISTS shard_checkpoints (
     updated_at TEXT NOT NULL,
     PRIMARY KEY (run_id, shard_id)
 );
+CREATE TABLE IF NOT EXISTS stream_units (
+    run_id     TEXT NOT NULL,
+    unit_key   TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    updated_at TEXT NOT NULL,
+    PRIMARY KEY (run_id, unit_key)
+);
 """
 
 #: Columns added after the v1 schema.  New databases get them through
 #: ``_SCHEMA`` directly; the ALTER TABLE only upgrades stores created by
 #: earlier releases (it fails with "duplicate column" otherwise, which
-#: is the one error the open path may swallow).
+#: is the one error the open path may swallow).  The last four are the
+#: *lineage migration*: run provenance for incremental (stream) runs.
 _MIGRATIONS = (
     "ALTER TABLE runs ADD COLUMN workers INTEGER",
+    "ALTER TABLE runs ADD COLUMN parent_run_id TEXT",
+    "ALTER TABLE runs ADD COLUMN delta_json TEXT",
+    "ALTER TABLE runs ADD COLUMN stream_step INTEGER",
+    "ALTER TABLE runs ADD COLUMN kb_fingerprint TEXT",
 )
 
 #: Run lifecycle states recorded in the ledger.
@@ -119,6 +135,12 @@ class RunRecord:
     error: str | None = None
     #: Partitioned-run pool size; ``None`` marks a monolithic run.
     workers: int | None = None
+    #: Lineage (stream runs): the run this one incrementally updated.
+    parent_run_id: str | None = None
+    #: Position in a delta stream; ``None`` marks a non-stream run.
+    stream_step: int | None = None
+    #: Content fingerprint of the KB pair the run matched.
+    kb_fingerprint: str | None = None
 
     @property
     def finished(self) -> bool:
@@ -127,6 +149,11 @@ class RunRecord:
     @property
     def partitioned(self) -> bool:
         return self.workers is not None
+
+    @property
+    def streaming(self) -> bool:
+        """Whether the run keeps unit records and supports ``update``."""
+        return self.stream_step is not None
 
 
 class RunStore:
@@ -242,11 +269,19 @@ class RunStore:
         error_rate: float = 0.0,
         run_id: str | None = None,
         workers: int | None = None,
+        parent_run_id: str | None = None,
+        delta_json: str | None = None,
+        stream_step: int | None = None,
+        kb_fingerprint: str | None = None,
     ) -> str:
         """Insert a ledger row in status ``queued``; returns the run id.
 
         ``workers`` marks a partitioned run (``repro.partition``); its
         checkpoints live per shard and resume re-fans them onto a pool.
+        ``stream_step``/``parent_run_id``/``delta_json``/``kb_fingerprint``
+        record lineage for incremental (stream) runs: step 0 is a root,
+        later steps point at the run they updated and carry the applied
+        delta verbatim.
         """
         run_id = run_id or uuid.uuid4().hex[:12]
         now = _now()
@@ -254,8 +289,9 @@ class RunStore:
             self._conn.execute(
                 "INSERT INTO runs (run_id, dataset, seed, scale, config_hash,"
                 " strategy, error_rate, status, config_json, workers,"
+                " parent_run_id, delta_json, stream_step, kb_fingerprint,"
                 " created_at, updated_at)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', ?, ?, ?, ?)",
+                " VALUES (?, ?, ?, ?, ?, ?, ?, 'queued', ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     run_id,
                     dataset,
@@ -266,11 +302,46 @@ class RunStore:
                     error_rate,
                     json.dumps(config_to_doc(config or RempConfig()), sort_keys=True),
                     workers,
+                    parent_run_id,
+                    delta_json,
+                    stream_step,
+                    kb_fingerprint,
                     now,
                     now,
                 ),
             )
         return run_id
+
+    def set_run_fingerprint(self, run_id: str, kb_fingerprint: str) -> None:
+        """Record the content fingerprint of the KB pair a run matched."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE runs SET kb_fingerprint = ?, updated_at = ? WHERE run_id = ?",
+                (kb_fingerprint, _now(), run_id),
+            )
+
+    def get_run_delta_json(self, run_id: str) -> str | None:
+        """The serialized delta a stream run applied (``None`` for roots)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT delta_json FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return row["delta_json"] if row is not None else None
+
+    def lineage(self, run_id: str) -> list[RunRecord]:
+        """The parent chain of a run, root first (ends with the run itself)."""
+        chain: list[RunRecord] = []
+        seen: set[str] = set()
+        current: str | None = run_id
+        while current is not None and current not in seen:
+            seen.add(current)
+            record = self.get_run(current)
+            if record is None:
+                break
+            chain.append(record)
+            current = record.parent_run_id
+        chain.reverse()
+        return chain
 
     def set_run_workers(self, run_id: str, workers: int | None) -> None:
         """Record (or clear) a run's partitioned pool size in the ledger.
@@ -326,7 +397,7 @@ class RunStore:
             row = self._conn.execute(
                 "SELECT run_id, dataset, seed, scale, config_hash, strategy,"
                 " error_rate, status, questions_asked, created_at, updated_at,"
-                " error, workers"
+                " error, workers, parent_run_id, stream_step, kb_fingerprint"
                 " FROM runs WHERE run_id = ?",
                 (run_id,),
             ).fetchone()
@@ -354,7 +425,7 @@ class RunStore:
         query = (
             "SELECT run_id, dataset, seed, scale, config_hash, strategy,"
             " error_rate, status, questions_asked, created_at, updated_at,"
-            " error, workers"
+            " error, workers, parent_run_id, stream_step, kb_fingerprint"
             " FROM runs"
         )
         params: tuple = ()
@@ -407,16 +478,27 @@ class RunStore:
         self._write_shard_row(run_id, shard_id, "loop", payload)
 
     def save_shard_result(
-        self, run_id: str, shard_id: int, result: RempResult, snapshot: dict
+        self,
+        run_id: str,
+        shard_id: int,
+        result: RempResult,
+        snapshot: dict,
+        answer_log: list | None = None,
     ) -> None:
         """Mark a shard finished: final result plus its loop-state snapshot.
 
         The snapshot feeds the isolated-pair classification phase on
         resume, so a restored shard contributes exactly the training
-        data it produced live.
+        data it produced live; the answer log keeps a resumed stream
+        run's new-spend accounting exact.
         """
         payload = json.dumps(
-            {"kind": "done", "result": result_to_doc(result), "snapshot": snapshot},
+            {
+                "kind": "done",
+                "result": result_to_doc(result),
+                "snapshot": snapshot,
+                "answer_log": answer_log or [],
+            },
             sort_keys=True,
         )
         self._write_shard_row(run_id, shard_id, "done", payload)
@@ -437,8 +519,8 @@ class RunStore:
 
         Returns ``{shard_id: ("loop", LoopCheckpoint)}`` for shards
         interrupted mid-loop and ``{shard_id: ("done", RempResult,
-        snapshot)}`` for finished shards — the resume input of
-        :class:`repro.partition.ParallelRunner`.
+        snapshot, answer_log)}`` for finished shards — the resume input
+        of :class:`repro.partition.ParallelRunner`.
         """
         with self._lock:
             rows = self._conn.execute(
@@ -459,6 +541,7 @@ class RunStore:
                     "done",
                     result_from_doc(doc["result"]),
                     doc["snapshot"],
+                    doc.get("answer_log", []),
                 )
         return records
 
@@ -467,6 +550,47 @@ class RunStore:
         with self._lock, self._conn:
             cursor = self._conn.execute(
                 "DELETE FROM shard_checkpoints WHERE run_id = ?", (run_id,)
+            )
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Stream unit records (incremental runs, repro.stream)
+    # ------------------------------------------------------------------
+    def replace_unit_records(self, run_id: str, records: dict[str, dict]) -> None:
+        """Overwrite a stream run's content-keyed unit record documents.
+
+        Unlike shard checkpoints these *survive* ``finish_run`` — they
+        are what the next ``update()`` reuses for clean closures.
+        """
+        now = _now()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "DELETE FROM stream_units WHERE run_id = ?", (run_id,)
+            )
+            self._conn.executemany(
+                "INSERT INTO stream_units (run_id, unit_key, payload, updated_at)"
+                " VALUES (?, ?, ?, ?)",
+                [
+                    (run_id, key, json.dumps(doc, sort_keys=True), now)
+                    for key, doc in records.items()
+                ],
+            )
+
+    def load_unit_record_docs(self, run_id: str) -> dict[str, dict]:
+        """All unit record documents of a stream run, keyed by content key."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT unit_key, payload FROM stream_units WHERE run_id = ?"
+                " ORDER BY unit_key",
+                (run_id,),
+            ).fetchall()
+        return {row["unit_key"]: json.loads(row["payload"]) for row in rows}
+
+    def clear_unit_records(self, run_id: str) -> int:
+        """Drop a stream run's unit records; returns the number removed."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM stream_units WHERE run_id = ?", (run_id,)
             )
         return cursor.rowcount
 
@@ -489,6 +613,9 @@ class RunStore:
             shard_checkpoints = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM shard_checkpoints"
             ).fetchone()["n"]
+            stream_units = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM stream_units"
+            ).fetchone()["n"]
         return {
             "path": self.path,
             "prepared_states": prepared,
@@ -496,6 +623,7 @@ class RunStore:
             "runs_by_status": by_status,
             "checkpoints": checkpoints,
             "shard_checkpoints": shard_checkpoints,
+            "stream_units": stream_units,
         }
 
 
@@ -514,4 +642,7 @@ def _run_record(row: sqlite3.Row) -> RunRecord:
         updated_at=row["updated_at"],
         error=row["error"],
         workers=row["workers"],
+        parent_run_id=row["parent_run_id"],
+        stream_step=row["stream_step"],
+        kb_fingerprint=row["kb_fingerprint"],
     )

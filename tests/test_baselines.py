@@ -9,19 +9,18 @@ from repro.baselines.base import partition_by_signature, vector_with_prior
 from repro.baselines.paris import functionality, inverse_functionality
 from repro.core import Remp
 from repro.crowd import CrowdPlatform
-from repro.datasets import load_dataset
 from repro.eval import evaluate_matches
 from repro.kb import KnowledgeBase
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return load_dataset("iimb", seed=0, scale=0.4)
+def bundle(bundle_iimb_04):
+    return bundle_iimb_04
 
 
 @pytest.fixture(scope="module")
-def state(bundle):
-    return Remp().prepare(bundle.kb1, bundle.kb2)
+def state(prepared_iimb_04):
+    return prepared_iimb_04
 
 
 @pytest.fixture()

@@ -183,3 +183,200 @@ class TestStoreCommands:
         out = capsys.readouterr().out
         assert f"run={run_id}" in out
         assert "F1=" in out
+
+    def test_update_via_cli_reuses_clean_units(self, store_path, tmp_path, capsys):
+        from repro.datasets import evolving_bundle
+
+        assert main(["run", "evolving", "--scale", "0.4", "--error-rate", "0",
+                     "--stream", "--store", store_path]) == 0
+        run_id = capsys.readouterr().out.split("run=")[1].split()[0]
+        evolving = evolving_bundle(seed=0, scale=0.4, steps=1)
+        delta_file = tmp_path / "delta.json"
+        delta_file.write_text(json.dumps(evolving.deltas[0].to_doc()))
+        assert main(["update", run_id, "--delta", str(delta_file),
+                     "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "reused" in out
+        assert "F1=" in out
+
+    def test_run_since_advances_stream(self, store_path, capsys):
+        assert main(["run", "evolving", "--scale", "0.4", "--error-rate", "0",
+                     "--stream", "--store", store_path]) == 0
+        run_id = capsys.readouterr().out.split("run=")[1].split()[0]
+        assert main(["run", "--since", run_id, "--steps", "2",
+                     "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "step 1:" in out and "step 2:" in out
+        assert "F1=" in out
+
+    def test_runs_show_prints_lineage(self, store_path, capsys):
+        main(["run", "evolving", "--scale", "0.4", "--error-rate", "0",
+              "--stream", "--store", store_path])
+        root = capsys.readouterr().out.split("run=")[1].split()[0]
+        main(["run", "--since", root, "--steps", "1", "--store", store_path])
+        child = capsys.readouterr().out.split("run=")[-1].split()[0]
+        assert main(["runs", "show", child, "--store", store_path]) == 0
+        detail = capsys.readouterr().out
+        assert "stream_step: 1" in detail
+        assert f"lineage: {root} -> {child}" in detail
+        assert "kb_fingerprint:" in detail
+
+
+class TestStreamErrorPaths:
+    """CLI error paths for the stream verbs (``update`` / ``run --since``)."""
+
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        return str(tmp_path / "stream.db")
+
+    @pytest.fixture()
+    def delta_file(self, tmp_path):
+        from repro.datasets import evolving_bundle
+
+        path = tmp_path / "delta.json"
+        path.write_text(
+            json.dumps(evolving_bundle(seed=0, scale=0.4, steps=1).deltas[0].to_doc())
+        )
+        return str(path)
+
+    def test_stream_requires_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main(["run", "evolving", "--stream"]) == 2
+        assert "--stream requires --store" in capsys.readouterr().err
+
+    def test_stream_rejects_budget(self, store_path, capsys):
+        assert main(["run", "evolving", "--stream", "--budget", "5",
+                     "--store", store_path]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_steps_requires_since(self, store_path, capsys):
+        assert main(["run", "evolving", "--steps", "2", "--store", store_path]) == 2
+        assert "--steps only applies with --since" in capsys.readouterr().err
+
+    def test_since_requires_steps(self, store_path, capsys):
+        assert main(["run", "--since", "rid", "--store", store_path]) == 2
+        assert "--steps" in capsys.readouterr().err
+
+    def test_since_rejects_conflicting_flags(self, store_path, capsys):
+        """Flags the lineage would silently ignore are rejected instead."""
+        assert main(["run", "--since", "rid", "--steps", "1", "--mu", "5",
+                     "--store", store_path]) == 2
+        assert "--mu" in capsys.readouterr().err
+        assert main(["run", "--since", "rid", "--steps", "1",
+                     "--error-rate", "0.3", "--store", store_path]) == 2
+        assert "--error-rate" in capsys.readouterr().err
+        assert main(["run", "--since", "rid", "--steps", "1", "--scale", "0.5",
+                     "--store", store_path]) == 2
+        assert "--scale" in capsys.readouterr().err
+
+    def test_since_unknown_run(self, store_path, capsys):
+        assert main(["run", "--since", "nope", "--steps", "1",
+                     "--store", store_path]) == 1
+        assert "unknown run" in capsys.readouterr().err
+
+    def test_since_non_stream_run(self, store_path, capsys):
+        main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",
+              "--store", store_path])
+        run_id = capsys.readouterr().out.split("run=")[1].split()[0]
+        assert main(["run", "--since", run_id, "--steps", "1",
+                     "--store", store_path]) == 1
+        assert "not a stream run" in capsys.readouterr().err
+
+    def test_update_unknown_run(self, store_path, delta_file, capsys):
+        assert main(["update", "nope", "--delta", delta_file,
+                     "--store", store_path]) == 1
+        assert "unknown run" in capsys.readouterr().err
+
+    def test_update_missing_delta_file(self, store_path, capsys):
+        assert main(["update", "rid", "--delta", "/no/such/file.json",
+                     "--store", store_path]) == 2
+        assert "no such delta file" in capsys.readouterr().err
+
+    def test_update_malformed_delta_file(self, store_path, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"version\": 99}")
+        assert main(["update", "rid", "--delta", str(bad),
+                     "--store", store_path]) == 2
+        assert "malformed delta" in capsys.readouterr().err
+
+    def test_update_conflicting_fingerprint(self, store_path, tmp_path, capsys):
+        """A delta pinned to the wrong KB pair is rejected, not applied."""
+        from repro.datasets import evolving_bundle
+        from repro.stream import KBDelta
+
+        main(["run", "evolving", "--scale", "0.4", "--error-rate", "0",
+              "--stream", "--store", store_path])
+        run_id = capsys.readouterr().out.split("run=")[1].split()[0]
+        delta = evolving_bundle(seed=0, scale=0.4, steps=1).deltas[0]
+        stale = KBDelta(
+            ops=delta.ops,
+            gold_add=delta.gold_add,
+            gold_remove=delta.gold_remove,
+            parent_fingerprint="deadbeefdeadbeef",
+        )
+        stale_file = tmp_path / "stale.json"
+        stale_file.write_text(json.dumps(stale.to_doc()))
+        assert main(["update", run_id, "--delta", str(stale_file),
+                     "--store", store_path]) == 1
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_since_against_premigration_store(self, tmp_path, capsys):
+        """A store created before the lineage migration upgrades cleanly.
+
+        The legacy schema (no parent/delta/step/fingerprint columns, no
+        stream_units table) must be migrated on open, and ``run --since``
+        against its old runs must fail with a clear message instead of
+        crashing.
+        """
+        import sqlite3
+
+        from repro.store import RunStore
+
+        path = str(tmp_path / "legacy.db")
+        legacy = sqlite3.connect(path)
+        legacy.executescript(
+            """
+            CREATE TABLE prepared_states (
+                dataset TEXT NOT NULL, seed INTEGER NOT NULL,
+                scale REAL NOT NULL, config_hash TEXT NOT NULL,
+                payload TEXT NOT NULL, created_at TEXT NOT NULL,
+                PRIMARY KEY (dataset, seed, scale, config_hash));
+            CREATE TABLE runs (
+                run_id TEXT PRIMARY KEY, dataset TEXT NOT NULL,
+                seed INTEGER NOT NULL, scale REAL NOT NULL,
+                config_hash TEXT NOT NULL, strategy TEXT NOT NULL,
+                error_rate REAL NOT NULL DEFAULT 0.0, status TEXT NOT NULL,
+                config_json TEXT NOT NULL,
+                questions_asked INTEGER NOT NULL DEFAULT 0,
+                result_json TEXT, error TEXT, workers INTEGER,
+                created_at TEXT NOT NULL, updated_at TEXT NOT NULL);
+            CREATE TABLE checkpoints (
+                run_id TEXT PRIMARY KEY, payload TEXT NOT NULL,
+                updated_at TEXT NOT NULL);
+            CREATE TABLE shard_checkpoints (
+                run_id TEXT NOT NULL, shard_id INTEGER NOT NULL,
+                kind TEXT NOT NULL, payload TEXT NOT NULL,
+                updated_at TEXT NOT NULL, PRIMARY KEY (run_id, shard_id));
+            INSERT INTO runs VALUES
+                ('legacyrun', 'evolving', 0, 0.4, 'x', 'remp', 0.0, 'done',
+                 '{}', 0, NULL, NULL, NULL, '2026-01-01', '2026-01-01');
+            """
+        )
+        legacy.commit()
+        legacy.close()
+
+        assert main(["run", "--since", "legacyrun", "--steps", "1",
+                     "--store", path]) == 1
+        err = capsys.readouterr().err
+        assert "not a stream run" in err and "lineage migration" in err
+        # The open performed the migration: lineage columns and the
+        # stream_units table now exist, and old rows read back as
+        # non-stream runs.
+        with RunStore(path) as store:
+            record = store.get_run("legacyrun")
+            assert record is not None
+            assert record.stream_step is None
+            assert record.kb_fingerprint is None
+            assert not record.streaming
+            assert store.stats()["stream_units"] == 0
+

@@ -5,14 +5,13 @@ import pytest
 from repro.core import Remp, RempConfig
 from repro.core.candidates import generate_candidates
 from repro.crowd import CrowdPlatform, SimulatedWorker
-from repro.datasets import load_dataset
 from repro.eval import evaluate_matches
 from repro.kb import KnowledgeBase
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return load_dataset("iimb", seed=0, scale=0.3)
+def bundle(bundle_iimb_03):
+    return bundle_iimb_03
 
 
 class TestDegenerateInputs:

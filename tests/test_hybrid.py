@@ -6,13 +6,12 @@ from repro.core import Remp
 from repro.core.hybrid import HybridRemp, monotone_inferences
 from repro.core.truth import TruthInferenceResult
 from repro.crowd import CrowdPlatform
-from repro.datasets import load_dataset
 from repro.eval import evaluate_matches
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return load_dataset("iimb", seed=0, scale=0.4)
+def bundle(bundle_iimb_04):
+    return bundle_iimb_04
 
 
 @pytest.fixture(scope="module")

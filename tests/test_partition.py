@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import Remp, RempConfig
 from repro.crowd import CrowdPlatform
-from repro.datasets import clustered_bundle
 from repro.eval import evaluate_matches
 from repro.partition import (
     CrowdSpec,
@@ -23,15 +22,13 @@ from repro.store import RunStore
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return clustered_bundle(
-        num_clusters=6, movies_per_cluster=3, seed=0, critics_per_cluster=1
-    )
+def bundle(clustered6_bundle):
+    return clustered6_bundle
 
 
 @pytest.fixture(scope="module")
-def state(bundle):
-    return Remp().prepare(bundle.kb1, bundle.kb2)
+def state(prepared_clustered6):
+    return prepared_clustered6
 
 
 @pytest.fixture(scope="module")

@@ -4,13 +4,12 @@ import pytest
 
 from repro.core import Remp, RempConfig
 from repro.crowd import CrowdPlatform
-from repro.datasets import load_dataset
 from repro.eval import evaluate_matches
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return load_dataset("iimb", seed=0, scale=0.4)
+def bundle(bundle_iimb_04):
+    return bundle_iimb_04
 
 
 @pytest.fixture(scope="module")
@@ -21,8 +20,8 @@ def oracle_result(bundle):
 
 
 class TestPrepare:
-    def test_artifacts_consistent(self, bundle):
-        state = Remp().prepare(bundle.kb1, bundle.kb2)
+    def test_artifacts_consistent(self, prepared_iimb_04):
+        state = prepared_iimb_04
         assert state.retained <= state.candidates.pairs
         assert set(state.priors) == state.retained
         assert state.isolated <= state.retained
@@ -30,8 +29,8 @@ class TestPrepare:
         for pair in state.retained:
             assert pair in state.vector_index.vectors
 
-    def test_initial_matches_have_prior_one(self, bundle):
-        state = Remp().prepare(bundle.kb1, bundle.kb2)
+    def test_initial_matches_have_prior_one(self, prepared_iimb_04):
+        state = prepared_iimb_04
         for pair in state.candidates.initial_matches:
             assert state.candidates.priors[pair] == 1.0
 

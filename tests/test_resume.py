@@ -4,12 +4,11 @@ import pytest
 
 from repro.core import Remp
 from repro.crowd import CrowdPlatform
-from repro.datasets import load_dataset
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return load_dataset("iimb", seed=0, scale=0.4)
+def bundle(bundle_iimb_04):
+    return bundle_iimb_04
 
 
 def _platform(bundle):
@@ -132,3 +131,91 @@ class TestBillingInvariant:
         platform = _platform(bundle)
         result = Remp().run(bundle.kb1, bundle.kb2, platform)
         assert result.questions_asked == platform.questions_asked
+
+
+class TestStreamUpdateResume:
+    """Kill-and-resume for mid-delta ``update()`` runs (repro.stream)."""
+
+    SCALE = 0.75
+    ERROR_RATE = 0.1
+
+    @pytest.fixture(scope="class")
+    def evolving(self):
+        from repro.datasets import evolving_bundle
+
+        return evolving_bundle(seed=0, scale=self.SCALE, steps=1)
+
+    @pytest.fixture(scope="class")
+    def reference(self, evolving, tmp_path_factory):
+        """The uninterrupted root + update, for byte-comparison."""
+        from repro.service import MatchingService
+        from repro.store.serialize import result_to_doc
+
+        path = tmp_path_factory.mktemp("stream-ref") / "ref.db"
+        with MatchingService(str(path)) as service:
+            root = service.submit(
+                "evolving",
+                scale=self.SCALE,
+                error_rate=self.ERROR_RATE,
+                background=False,
+                stream=True,
+            )
+            service.result(root)
+            updated = service.update(root, evolving.deltas[0], background=False)
+            result = service.result(updated)
+        return result_to_doc(result)
+
+    def _interrupted_store(self, evolving, tmp_path, kill_on: str):
+        """Run root + update, dying at the first ``kill_on`` unit event."""
+        from repro.service import MatchingService
+
+        class _Die(Exception):
+            pass
+
+        seen = []
+
+        def killer(event):
+            seen.append(event)
+            if event.kind == kill_on and sum(
+                1 for e in seen if e.kind == kill_on
+            ) == 1:
+                raise _Die
+
+        path = tmp_path / "interrupted.db"
+        with MatchingService(str(path)) as service:
+            root = service.submit(
+                "evolving",
+                scale=self.SCALE,
+                error_rate=self.ERROR_RATE,
+                background=False,
+                stream=True,
+            )
+            service.result(root)
+            run_id = service.update(
+                root, evolving.deltas[0], background=False, on_event=killer
+            )
+            with pytest.raises(_Die):
+                service.result(run_id)
+            assert service.store.get_run(run_id).status == "failed"
+        return path, run_id
+
+    @pytest.mark.parametrize("kill_on", ["checkpointed", "finished"])
+    def test_resume_converges_to_uninterrupted_result(
+        self, evolving, reference, tmp_path, kill_on
+    ):
+        """Mid-loop and between-unit kills both resume to the exact result."""
+        from repro.service import MatchingService
+        from repro.store.serialize import result_to_doc
+
+        path, run_id = self._interrupted_store(evolving, tmp_path, kill_on)
+        # A fresh service simulates a process restart.
+        with MatchingService(str(path)) as service:
+            service.resume(run_id, background=False)
+            resumed = service.result(run_id)
+            assert service.store.get_run(run_id).status == "done"
+            outcome = service.stream_outcome(run_id)
+        assert result_to_doc(resumed) == reference
+        # Resume restores persisted work instead of re-running everything:
+        # nothing that finished before the kill is re-billed as new spend.
+        assert outcome is not None
+        assert outcome.questions_new <= resumed.questions_asked

@@ -6,14 +6,13 @@ import pytest
 
 from repro.core import Remp, RempConfig
 from repro.crowd import CrowdPlatform
-from repro.datasets import load_dataset
 from repro.service import MatchingService
 from repro.store import RunStore
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return load_dataset("iimb", seed=0, scale=0.2)
+def bundle(bundle_iimb_02):
+    return bundle_iimb_02
 
 
 @pytest.fixture(scope="module")
@@ -196,3 +195,25 @@ class TestServiceResume:
             resumed = service.result(run_id)
         assert resumed.matches == uninterrupted.matches
         assert resumed.questions_asked == uninterrupted.questions_asked
+
+
+class TestStreamSessions:
+    def test_update_inherits_parent_workers(self, tmp_path):
+        """A lineage started parallel stays parallel across updates."""
+        from repro.datasets import evolving_bundle
+
+        evolving = evolving_bundle(seed=0, scale=0.4, steps=2)
+        with MatchingService(str(tmp_path / "svc.db")) as service:
+            root = service.submit(
+                "evolving", scale=0.4, workers=2, background=False, stream=True
+            )
+            service.result(root)
+            updated = service.update(root, evolving.deltas[0], background=False)
+            service.result(updated)
+            assert service.store.get_run(updated).workers == 2
+            # An explicit override still wins and is recorded.
+            second = service.update(
+                updated, evolving.deltas[1], workers=1, background=False
+            )
+            service.result(second)
+            assert service.store.get_run(second).workers == 1

@@ -4,9 +4,8 @@ import json
 
 import pytest
 
-from repro.core import Remp, RempConfig
+from repro.core import RempConfig
 from repro.core.pipeline import LoopCheckpoint, LoopRecord, RempResult
-from repro.datasets import load_dataset
 from repro.kb import KnowledgeBase, kb_from_doc, kb_to_doc
 from repro.store import (
     RunStore,
@@ -23,13 +22,13 @@ from repro.store import (
 
 
 @pytest.fixture(scope="module")
-def bundle():
-    return load_dataset("iimb", seed=0, scale=0.2)
+def bundle(bundle_iimb_02):
+    return bundle_iimb_02
 
 
 @pytest.fixture(scope="module")
-def state(bundle):
-    return Remp().prepare(bundle.kb1, bundle.kb2)
+def state(prepared_iimb_02):
+    return prepared_iimb_02
 
 
 class TestKBSerialization:
@@ -234,16 +233,19 @@ class TestShardCheckpoints:
             run_id = store.create_run("iimb", 0, 0.2, None, workers=2)
             store.save_shard_checkpoint(run_id, 0, self._checkpoint())
             result = RempResult(matches={("a", "b")}, questions_asked=2, num_loops=1)
-            store.save_shard_result(run_id, 1, result, {"priors": []})
+            log = [{"question": ["a", "b"], "worker_id": "w0",
+                    "label": True, "worker_quality": 1.0}]
+            store.save_shard_result(run_id, 1, result, {"priors": []}, answer_log=log)
             records = store.load_shard_records(run_id)
             assert set(records) == {0, 1}
             kind, checkpoint = records[0]
             assert kind == "loop"
             assert checkpoint.questions_asked == 2
-            kind, stored_result, snapshot = records[1]
+            kind, stored_result, snapshot, answer_log = records[1]
             assert kind == "done"
             assert stored_result.matches == {("a", "b")}
             assert snapshot == {"priors": []}
+            assert answer_log == log
 
     def test_done_overwrites_loop(self, tmp_path):
         with RunStore(tmp_path / "store.db") as store:
