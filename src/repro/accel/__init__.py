@@ -1,0 +1,23 @@
+"""Vectorized/incremental kernels behind the Remp hot paths.
+
+Everything here is gated by ``REPRO_NO_ACCEL=1`` (see
+:mod:`repro.accel.runtime`) and guaranteed byte-identical to the pure
+Python reference paths it replaces — the accel equivalence suite and the
+stream/partition byte-equality oracles pin that contract.
+"""
+
+from repro.accel.dominance import any_strict_dominator, strict_dominance_counts
+from repro.accel.literals import LiteralScorer
+from repro.accel.propagation import IncrementalPropagator
+from repro.accel.runtime import TIMINGS, KernelTimings, accel_enabled, force_accel
+
+__all__ = [
+    "TIMINGS",
+    "IncrementalPropagator",
+    "KernelTimings",
+    "LiteralScorer",
+    "accel_enabled",
+    "any_strict_dominator",
+    "force_accel",
+    "strict_dominance_counts",
+]

@@ -1,0 +1,189 @@
+"""Interned-literal scoring: batched ``simL`` without per-pair set algebra.
+
+The reference ``literal_set_similarity`` re-normalizes and re-compares
+raw literals for every candidate pair, although a KB holds few distinct
+literals and each entity participates in many pairs.  The scorer interns
+every literal once — classifying it as a number or a packed, sorted
+token-id array — and memoizes both the pairwise literal similarities and
+the greedy set-level matches, so each distinct comparison is computed
+exactly once per prepare.
+
+Equivalence with the reference is by construction:
+
+* numbers go through the *same* ``numeric_similarity`` function;
+* token Jaccard is ``|A∩B| / (|A|+|B|−|A∩B|)`` with integer counts off a
+  merge over sorted id arrays — the identical ratio of identical
+  integers the reference's set algebra produces;
+* the greedy set matching replays the reference loop literal-for-literal
+  (ids preserve input order), so tie-breaking is bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.text.literal import _as_number
+from repro.text.normalize import normalize_label
+from repro.text.similarity import numeric_similarity
+
+
+def _sorted_token_ids(
+    tokens: Collection[str], token_ids: dict[str, int]
+) -> tuple[int, ...]:
+    ids = []
+    for token in tokens:
+        token_id = token_ids.get(token)
+        if token_id is None:
+            token_id = len(token_ids)
+            token_ids[token] = token_id
+        ids.append(token_id)
+    ids.sort()
+    return tuple(ids)
+
+
+def _intersection_count(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+    """|a ∩ b| by a linear merge over two sorted id arrays."""
+    i = j = count = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        x, y = a[i], b[j]
+        if x == y:
+            count += 1
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+class LiteralScorer:
+    """Per-KB-pair literal interning with memoized simL scoring.
+
+    One scorer serves one ``(kb1, kb2, threshold)`` scoring pass (a
+    prepare, an attribute-matching round, an incremental splice); its
+    caches are content-addressed, so sharing one across passes over the
+    same KBs is also sound.
+    """
+
+    __slots__ = (
+        "threshold",
+        "_ids",
+        "_numbers",
+        "_tokens",
+        "_raw",
+        "_token_ids",
+        "_pair_sims",
+        "_set_sims",
+        "_value_ids",
+    )
+
+    def __init__(self, threshold: float):
+        self.threshold = threshold
+        self._ids: dict[tuple[bool, object], int] = {}
+        self._numbers: list[float | None] = []
+        self._tokens: list[tuple[int, ...] | None] = []
+        self._raw: list[object] = []
+        self._token_ids: dict[str, int] = {}
+        self._pair_sims: dict[tuple[int, int], float] = {}
+        self._set_sims: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
+        # KB value sets are stable objects (one per entity/attribute), so
+        # their interned id tuples are memoized by object identity; the
+        # stored reference keeps the object alive, keeping ids unique.
+        self._value_ids: dict[int, tuple[object, tuple[int, ...]]] = {}
+
+    # -- interning ------------------------------------------------------
+    def intern(self, value: object) -> int:
+        # bool participates in the key: True == 1 would otherwise collide
+        # with the integer 1, which *is* a number while True is not.
+        key = (isinstance(value, bool), value)
+        literal_id = self._ids.get(key)
+        if literal_id is None:
+            literal_id = len(self._numbers)
+            self._ids[key] = literal_id
+            self._numbers.append(_as_number(value))
+            self._tokens.append(None)  # tokenized lazily (numbers never are)
+            self._raw.append(value)
+        return literal_id
+
+    def _token_set(self, literal_id: int) -> tuple[int, ...]:
+        tokens = self._tokens[literal_id]
+        if tokens is None:
+            tokens = _sorted_token_ids(
+                normalize_label(str(self._raw[literal_id])), self._token_ids
+            )
+            self._tokens[literal_id] = tokens
+        return tokens
+
+    # -- scoring --------------------------------------------------------
+    def literal_similarity(self, id_a: int, id_b: int) -> float:
+        """Mirror of ``repro.text.literal.literal_similarity``.
+
+        Numeric comparisons are cheaper than a cache probe, so only the
+        token-Jaccard results (tokenization + merge) are memoized.
+        """
+        num_a, num_b = self._numbers[id_a], self._numbers[id_b]
+        if num_a is not None:
+            if num_b is not None:
+                return numeric_similarity(num_a, num_b)
+            return 0.0
+        if num_b is not None:
+            return 0.0
+        key = (id_a, id_b) if id_a <= id_b else (id_b, id_a)
+        sim = self._pair_sims.get(key)
+        if sim is not None:
+            return sim
+        tokens_a = self._token_set(id_a)
+        tokens_b = self._token_set(id_b)
+        if not tokens_a and not tokens_b:
+            sim = 1.0
+        else:
+            inter = _intersection_count(tokens_a, tokens_b)
+            sim = inter / (len(tokens_a) + len(tokens_b) - inter)
+        self._pair_sims[key] = sim
+        return sim
+
+    def _intern_values(self, values: Collection[object]) -> tuple[int, ...]:
+        key = id(values)
+        entry = self._value_ids.get(key)
+        if entry is not None and entry[0] is values:
+            return entry[1]
+        ids = tuple(self.intern(v) for v in values)
+        self._value_ids[key] = (values, ids)
+        return ids
+
+    def set_similarity(
+        self, values_a: Collection[object], values_b: Collection[object]
+    ) -> float:
+        """Extended Jaccard simL, replaying the reference greedy matching."""
+        if not values_a or not values_b:
+            return 0.0
+        ids_a = self._intern_values(values_a)
+        ids_b = self._intern_values(values_b)
+        if len(ids_a) == 1 and len(ids_b) == 1:
+            # Singleton sets (the common case): matched is 0 or 1, so the
+            # Jaccard form collapses to 1.0 / 0.0 — skip the greedy scan.
+            sim = self.literal_similarity(ids_a[0], ids_b[0])
+            return 1.0 if sim >= self.threshold else 0.0
+        key = (ids_a, ids_b)
+        cached = self._set_sims.get(key)
+        if cached is not None:
+            return cached
+        threshold = self.threshold
+        matched_b = [False] * len(ids_b)
+        matched = 0
+        for id_a in ids_a:
+            best_j, best_sim = -1, threshold
+            for j, id_b in enumerate(ids_b):
+                if matched_b[j]:
+                    continue
+                sim = self.literal_similarity(id_a, id_b)
+                if sim >= best_sim:
+                    best_j, best_sim = j, sim
+            if best_j >= 0:
+                matched_b[best_j] = True
+                matched += 1
+        result = matched / (len(ids_a) + len(ids_b) - matched)
+        self._set_sims[key] = result
+        return result

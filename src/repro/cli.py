@@ -77,7 +77,14 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_accel_flag(args: argparse.Namespace) -> None:
+    """``--no-accel`` drops to the pure-Python reference kernels."""
+    if getattr(args, "no_accel", False):
+        os.environ["REPRO_NO_ACCEL"] = "1"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_accel_flag(args)
     if args.dataset is None and args.resume is None and args.since is None:
         print(
             "run: a dataset is required unless --resume or --since is given",
@@ -318,6 +325,7 @@ def _run_since(args: argparse.Namespace) -> int:
 
 def _cmd_update(args: argparse.Namespace) -> int:
     """``update RUN_ID --delta FILE``: apply one KB delta incrementally."""
+    _apply_accel_flag(args)
     delta_path = Path(args.delta)
     if not delta_path.exists():
         print(f"update: no such delta file {args.delta!r}", file=sys.stderr)
@@ -430,6 +438,18 @@ def _cmd_runs(args: argparse.Namespace) -> int:
                 f"{checkpoint.questions_asked} questions asked, "
                 f"{len(checkpoint.answer_log)} labels recorded"
             )
+        timings = store.load_run_timings(args.run_id)
+        if timings is not None:
+            print(f"accel: {'on' if timings.get('accel') else 'off (REPRO_NO_ACCEL)'}")
+            stages = timings.get("stages", {})
+            if stages:
+                print("kernel timings (seconds x calls):")
+                for name, entry in sorted(
+                    stages.items(), key=lambda item: -item[1]["seconds"]
+                ):
+                    print(
+                        f"  {name:<28} {entry['seconds']:>9.3f}s x{entry['calls']}"
+                    )
         result = store.get_result(args.run_id)
         if result is not None:
             print(
@@ -553,6 +573,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--steps", type=int, default=None, metavar="K",
         help="target stream step for --since",
     )
+    p_run.add_argument(
+        "--no-accel", action="store_true", dest="no_accel",
+        help="disable the vectorized/incremental kernels (repro.accel);"
+        " results are byte-identical, only slower",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_update = sub.add_parser(
@@ -565,6 +590,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_update.add_argument("--workers", type=int, default=None, metavar="N")
     p_update.add_argument("--store", default=None)
+    p_update.add_argument(
+        "--no-accel", action="store_true", dest="no_accel",
+        help="disable the vectorized/incremental kernels (repro.accel)",
+    )
     p_update.set_defaults(func=_cmd_update)
 
     p_partition = sub.add_parser("partition", help="inspect the partition layer")
@@ -634,7 +663,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # --no-accel works by setting REPRO_NO_ACCEL (checked at kernel call
+    # sites, including in worker processes); restore the prior value so
+    # embedding callers can invoke main() repeatedly without one
+    # command's flag leaking into the next.
+    previous = os.environ.get("REPRO_NO_ACCEL")
+    try:
+        return args.func(args)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NO_ACCEL", None)
+        else:
+            os.environ["REPRO_NO_ACCEL"] = previous
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

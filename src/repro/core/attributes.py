@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.accel.literals import LiteralScorer
+from repro.accel.runtime import accel_enabled
 from repro.assignment import hungarian_max
 from repro.kb.model import LABEL_ATTRIBUTE, KnowledgeBase
 from repro.text.literal import literal_set_similarity
@@ -40,6 +42,17 @@ def attribute_similarity_matrix(
     match get a score; everything else is implicitly zero.  ``rdfs:label``
     is excluded by default — it is handled by candidate generation.
     """
+    if accel_enabled():
+        scorer = LiteralScorer(literal_threshold)
+
+        def simL(values1, values2):
+            return scorer.set_similarity(values1, values2)
+
+    else:
+
+        def simL(values1, values2):
+            return literal_set_similarity(values1, values2, literal_threshold)
+
     sums: dict[tuple[str, str], float] = {}
     counts: dict[tuple[str, str], int] = {}
     for entity1, entity2 in initial_matches:
@@ -54,9 +67,7 @@ def attribute_similarity_matrix(
                 if not values1 and not values2:
                     continue
                 key = (a1, a2)
-                sums[key] = sums.get(key, 0.0) + literal_set_similarity(
-                    values1, values2, literal_threshold
-                )
+                sums[key] = sums.get(key, 0.0) + simL(values1, values2)
                 counts[key] = counts.get(key, 0) + 1
     return {key: sums[key] / counts[key] for key in sums}
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.accel.runtime import TIMINGS
 from repro.kb.model import KnowledgeBase
 from repro.text.normalize import normalize_label
 
@@ -73,8 +74,9 @@ def generate_candidates(
     and ``|T1 ∪ T2| = |T1| + |T2| − |T1 ∩ T2|`` finishes the coefficient
     without materializing a set intersection/union per candidate pair.
     """
-    tokens1, _ = _token_index(kb1)
-    tokens2, inverted2 = _token_index(kb2)
+    with TIMINGS.timed("candidates.token_index"):
+        tokens1, _ = _token_index(kb1)
+        tokens2, inverted2 = _token_index(kb2)
 
     labels2: dict[str, set[str]] = {}
     for entity in kb2.entities:
@@ -82,18 +84,19 @@ def generate_candidates(
             labels2.setdefault(label, set()).add(entity)
 
     result = CandidateSet()
-    for entity1, tset1 in tokens1.items():
-        intersections: dict[str, int] = {}
-        for token in tset1:
-            for entity2 in inverted2.get(token, ()):
-                intersections[entity2] = intersections.get(entity2, 0) + 1
-        size1 = len(tset1)
-        for entity2, shared in intersections.items():
-            sim = shared / (size1 + len(tokens2[entity2]) - shared)
-            if sim >= threshold:
-                pair = (entity1, entity2)
-                result.pairs.add(pair)
-                result.priors[pair] = sim
+    with TIMINGS.timed("candidates.score"):
+        for entity1, tset1 in tokens1.items():
+            intersections: dict[str, int] = {}
+            for token in tset1:
+                for entity2 in inverted2.get(token, ()):
+                    intersections[entity2] = intersections.get(entity2, 0) + 1
+            size1 = len(tset1)
+            for entity2, shared in intersections.items():
+                sim = shared / (size1 + len(tokens2[entity2]) - shared)
+                if sim >= threshold:
+                    pair = (entity1, entity2)
+                    result.pairs.add(pair)
+                    result.priors[pair] = sim
 
     for entity1 in kb1.entities:
         for label in kb1.labels(entity1):

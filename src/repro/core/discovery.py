@@ -37,17 +37,28 @@ def zeta_from_tau(tau: float) -> float:
     return -math.log(tau)
 
 
+def edge_length_row(targets: DistanceMap, zeta: float) -> DistanceMap:
+    """One vertex's −log edge lengths, keeping only edges within budget ζ.
+
+    Shared by :func:`edge_lengths` and the incremental propagator
+    (:mod:`repro.accel.propagation`), which splices rows vertex-by-vertex
+    — one code path guarantees identical rounding and insertion order.
+    """
+    row: DistanceMap = {}
+    for target, probability in targets.items():
+        if probability <= 0.0:
+            continue
+        length = -math.log(min(1.0, probability))
+        if length <= zeta:
+            row[target] = length
+    return row
+
+
 def edge_lengths(graph: ProbabilisticERGraph, zeta: float) -> dict[Pair, DistanceMap]:
     """−log edge lengths, keeping only edges usable within budget ζ."""
     lengths: dict[Pair, DistanceMap] = {}
     for source, targets in graph.edge_probs.items():
-        row = {}
-        for target, probability in targets.items():
-            if probability <= 0.0:
-                continue
-            length = -math.log(min(1.0, probability))
-            if length <= zeta:
-                row[target] = length
+        row = edge_length_row(targets, zeta)
         if row:
             lengths[source] = row
     return lengths

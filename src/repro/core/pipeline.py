@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.accel.propagation import IncrementalPropagator
+from repro.accel.runtime import TIMINGS, accel_enabled
 from repro.core.attributes import AttributeMatch, match_attributes
 from repro.core.candidates import CandidateSet, generate_candidates
 from repro.core.config import RempConfig
@@ -162,37 +164,47 @@ class Remp:
     # Offline stages (Section IV)
     # ------------------------------------------------------------------
     def prepare(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> PreparedState:
-        """Run ER-graph construction and return every intermediate artifact."""
+        """Run ER-graph construction and return every intermediate artifact.
+
+        Each stage is timed into :data:`repro.accel.TIMINGS` so the
+        service can persist a per-run timing profile.
+        """
         config = self.config
-        candidates = generate_candidates(kb1, kb2, config.label_similarity_threshold)
-        attribute_matches = match_attributes(
-            kb1,
-            kb2,
-            candidates.initial_matches,
-            literal_threshold=config.literal_threshold,
-        )
-        vectors = build_similarity_vectors(
-            kb1, kb2, candidates.pairs, attribute_matches, config.literal_threshold
-        )
-        # The label similarity (= the prior) leads every vector: rdfs:label
-        # is itself an attribute match, and it is the finest-grained
-        # component, which keeps the partial order discriminative even when
-        # the other attributes produce mostly 0/1 similarities.
-        vectors = {
-            pair: (candidates.priors.get(pair, 0.0),) + vector
-            for pair, vector in vectors.items()
-        }
-        index = VectorIndex(vectors)
-        retained = partial_order_pruning(candidates.pairs, index, config.k)
-        graph = build_er_graph(kb1, kb2, retained)
-        signatures = {}
-        for pair in retained:
-            presence = tuple(
-                bool(kb1.attribute_values(pair[0], m.attr1))
-                and bool(kb2.attribute_values(pair[1], m.attr2))
-                for m in attribute_matches
+        with TIMINGS.timed("prepare.candidates"):
+            candidates = generate_candidates(kb1, kb2, config.label_similarity_threshold)
+        with TIMINGS.timed("prepare.attributes"):
+            attribute_matches = match_attributes(
+                kb1,
+                kb2,
+                candidates.initial_matches,
+                literal_threshold=config.literal_threshold,
             )
-            signatures[pair] = attribute_signature(presence)
+        with TIMINGS.timed("prepare.vectors"):
+            vectors = build_similarity_vectors(
+                kb1, kb2, candidates.pairs, attribute_matches, config.literal_threshold
+            )
+            # The label similarity (= the prior) leads every vector: rdfs:label
+            # is itself an attribute match, and it is the finest-grained
+            # component, which keeps the partial order discriminative even when
+            # the other attributes produce mostly 0/1 similarities.
+            vectors = {
+                pair: (candidates.priors.get(pair, 0.0),) + vector
+                for pair, vector in vectors.items()
+            }
+        index = VectorIndex(vectors)
+        with TIMINGS.timed("prepare.pruning"):
+            retained = partial_order_pruning(candidates.pairs, index, config.k)
+        with TIMINGS.timed("prepare.graph"):
+            graph = build_er_graph(kb1, kb2, retained)
+        with TIMINGS.timed("prepare.signatures"):
+            signatures = {}
+            for pair in retained:
+                presence = tuple(
+                    bool(kb1.attribute_values(pair[0], m.attr1))
+                    and bool(kb2.attribute_values(pair[1], m.attr2))
+                    for m in attribute_matches
+                )
+                signatures[pair] = attribute_signature(presence)
         priors = {pair: candidates.priors.get(pair, config.default_prior) for pair in retained}
         return PreparedState(
             kb1=kb1,
@@ -468,6 +480,8 @@ class LoopState:
         self._inferred_sets: dict[Pair, dict[Pair, float]] = {}
         self._by_left: dict[str, list[Pair]] = {}
         self._by_right: dict[str, list[Pair]] = {}
+        #: Accel only: caches derived propagation state across loops.
+        self._propagator: IncrementalPropagator | None = None
         for pair in state.retained:
             self._by_left.setdefault(pair[0], []).append(pair)
             self._by_right.setdefault(pair[1], []).append(pair)
@@ -542,44 +556,76 @@ class LoopState:
             self.state.retained - self.resolved_matches - self.resolved_non_matches
         )
         self._inferred_sets = {}
+        # The propagator's diffs assume continuous history; a restore
+        # breaks it, so the next propagate re-primes from scratch.
+        self._propagator = None
 
     # -- propagation ----------------------------------------------------
     def propagate(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> None:
-        """Rebuild the probabilistic graph and infer from labeled matches."""
+        """Rebuild the probabilistic graph and infer from labeled matches.
+
+        With the accel layer on (and Dijkstra discovery selected), the
+        rebuild is *incremental*: an :class:`IncrementalPropagator`
+        re-estimates only labels whose observations moved, recomputes
+        only neighbor groups containing a pair whose effective prior (or
+        label consistency) changed, and re-runs Dijkstra only from
+        sources whose ζ-reachable region intersects the changed
+        vertices.  The fallback path is the original full rebuild; both
+        produce identical inferred sets (identical map contents *and*
+        iteration order).
+        """
         config = self.config
         matches_for_estimation = (
             self.state.candidates.initial_matches
             | self.labeled_matches
             | self.inferred_matches
         )
-        labels = {
-            label
-            for by_label in self.state.graph.groups.values()
-            for label in by_label
-        }
-        consistencies = estimate_all_consistencies(
-            kb1,
-            kb2,
-            labels,
-            matches_for_estimation,
-            min_support=config.min_consistency_support,
-            epsilon_default=config.epsilon_default,
-            epsilon_floor=config.epsilon_floor,
-            epsilon_ceiling=config.epsilon_ceiling,
-        )
-        effective_priors = dict(self.priors)
-        for pair in self.resolved_matches:
-            effective_priors[pair] = _RESOLVED_MATCH_PRIOR
-        for pair in self.resolved_non_matches:
-            effective_priors[pair] = _RESOLVED_NON_MATCH_PRIOR
-        prob_graph = build_probabilistic_graph(
-            self.state.graph, kb1, kb2, effective_priors, consistencies, config
-        )
-        sources = set(self.labeled_matches & self.state.retained)
-        sources.update(q for q in self._unresolved if self.state.graph.groups.get(q))
-        self._inferred_sets = inferred_sets(
-            prob_graph, sources, config.tau, config.use_dijkstra
-        )
+        incremental = accel_enabled() and config.use_dijkstra
+        with TIMINGS.timed("loop.propagate"):
+            if incremental:
+                if self._propagator is None:
+                    self._propagator = IncrementalPropagator(
+                        self.state.graph, kb1, kb2, config
+                    )
+                consistencies = self._propagator.estimate_consistencies(
+                    matches_for_estimation
+                )
+            else:
+                labels = {
+                    label
+                    for by_label in self.state.graph.groups.values()
+                    for label in by_label
+                }
+                consistencies = estimate_all_consistencies(
+                    kb1,
+                    kb2,
+                    labels,
+                    matches_for_estimation,
+                    min_support=config.min_consistency_support,
+                    epsilon_default=config.epsilon_default,
+                    epsilon_floor=config.epsilon_floor,
+                    epsilon_ceiling=config.epsilon_ceiling,
+                )
+            effective_priors = dict(self.priors)
+            for pair in self.resolved_matches:
+                effective_priors[pair] = _RESOLVED_MATCH_PRIOR
+            for pair in self.resolved_non_matches:
+                effective_priors[pair] = _RESOLVED_NON_MATCH_PRIOR
+            sources = set(self.labeled_matches & self.state.retained)
+            sources.update(
+                q for q in self._unresolved if self.state.graph.groups.get(q)
+            )
+            if incremental:
+                self._inferred_sets = self._propagator.update(
+                    effective_priors, consistencies, sources
+                )
+            else:
+                prob_graph = build_probabilistic_graph(
+                    self.state.graph, kb1, kb2, effective_priors, consistencies, config
+                )
+                self._inferred_sets = inferred_sets(
+                    prob_graph, sources, config.tau, config.use_dijkstra
+                )
         # Distant propagation: everything within ζ of a labeled match.  The
         # incrementally-maintained unresolved set keeps the membership test
         # O(1); resolve_match (and its competitor demotions) updates it.

@@ -154,6 +154,27 @@ class ProbabilisticERGraph:
         return sum(len(t) for t in self.edge_probs.values())
 
 
+def combined_edge_row(vertex: Pair, label_marginals) -> dict[Pair, float]:
+    """Max-combine per-label marginals into one vertex's out-edge row.
+
+    Mirrors :meth:`ProbabilisticERGraph.set_edge` exactly — self-edges and
+    non-positive probabilities are dropped, the strongest label wins — and
+    preserves the first-encounter insertion order, which downstream float
+    accumulations (shortest-path relaxation, benefit sums) observe.
+    Shared with the incremental propagator
+    (:mod:`repro.accel.propagation`), which rebuilds rows vertex-by-vertex:
+    one code path guarantees identical rows either way.
+    """
+    row: dict[Pair, float] = {}
+    for marginals in label_marginals:
+        for target, probability in marginals.items():
+            if probability <= 0.0 or target == vertex:
+                continue
+            if probability > row.get(target, 0.0):
+                row[target] = probability
+    return row
+
+
 def build_probabilistic_graph(
     graph: ERGraph,
     kb1: KnowledgeBase,
@@ -174,9 +195,13 @@ def build_probabilistic_graph(
     )
     prob_graph = ProbabilisticERGraph()
     for vertex, by_label in graph.groups.items():
-        for label, group in by_label.items():
-            consistency = consistencies.get(label, fallback)
-            marginals = neighbor_marginals(group, priors, consistency, config)
-            for target, probability in marginals.items():
-                prob_graph.set_edge(vertex, target, probability)
+        row = combined_edge_row(
+            vertex,
+            (
+                neighbor_marginals(group, priors, consistencies.get(label, fallback), config)
+                for label, group in by_label.items()
+            ),
+        )
+        if row:
+            prob_graph.edge_probs[vertex] = row
     return prob_graph

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.accel.dominance import PackedVectors, strict_dominance_counts
+from repro.accel.literals import LiteralScorer
+from repro.accel.runtime import TIMINGS, accel_enabled
 from repro.core.attributes import AttributeMatch
 from repro.kb.model import KnowledgeBase
 from repro.text.literal import literal_set_similarity
@@ -27,20 +30,38 @@ def build_similarity_vectors(
     attribute_matches: list[AttributeMatch],
     literal_threshold: float = 0.9,
 ) -> dict[Pair, Vector]:
-    """Pre-compute the similarity vector of every candidate pair."""
+    """Pre-compute the similarity vector of every candidate pair.
+
+    With the accel layer on, literals are interned once and every
+    distinct simL comparison is scored exactly once
+    (:class:`repro.accel.LiteralScorer`) — same greedy matching, same
+    integer ratios, byte-identical components.
+    """
+    if accel_enabled():
+        scorer = LiteralScorer(literal_threshold)
+
+        def simL(values1, values2):
+            return scorer.set_similarity(values1, values2)
+
+    else:
+
+        def simL(values1, values2):
+            return literal_set_similarity(values1, values2, literal_threshold)
+
     vectors: dict[Pair, Vector] = {}
-    for entity1, entity2 in pairs:
-        attrs1 = kb1.entity_attributes(entity1)
-        attrs2 = kb2.entity_attributes(entity2)
-        components = []
-        for match in attribute_matches:
-            values1 = attrs1.get(match.attr1, ())
-            values2 = attrs2.get(match.attr2, ())
-            if values1 and values2:
-                components.append(literal_set_similarity(values1, values2, literal_threshold))
-            else:
-                components.append(0.0)
-        vectors[(entity1, entity2)] = tuple(components)
+    with TIMINGS.timed("kernel.simL"):
+        for entity1, entity2 in pairs:
+            attrs1 = kb1.entity_attributes(entity1)
+            attrs2 = kb2.entity_attributes(entity2)
+            components = []
+            for match in attribute_matches:
+                values1 = attrs1.get(match.attr1, ())
+                values2 = attrs2.get(match.attr2, ())
+                if values1 and values2:
+                    components.append(simL(values1, values2))
+                else:
+                    components.append(0.0)
+            vectors[(entity1, entity2)] = tuple(components)
     return vectors
 
 
@@ -66,14 +87,42 @@ class VectorIndex:
     vectors: dict[Pair, Vector]
     by_left: dict[str, list[Pair]] = field(default_factory=dict)
     by_right: dict[str, list[Pair]] = field(default_factory=dict)
+    #: Lazily-filled per-block dominance counts (accel path only).
+    _rank_cache: dict[tuple[int, str], dict[Pair, int]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    #: Lazily-packed float64 matrix shared by the dominance kernels.
+    _packed: PackedVectors | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         for pair in self.vectors:
             self.by_left.setdefault(pair[0], []).append(pair)
             self.by_right.setdefault(pair[1], []).append(pair)
 
+    def packed(self) -> PackedVectors:
+        """The index's vectors packed once for the dominance kernels."""
+        if self._packed is None:
+            self._packed = PackedVectors(self.vectors)
+        return self._packed
+
+    def _block_ranks(self, side: int, entity: str) -> dict[Pair, int]:
+        """Dominance counts of one whole block via the packed kernel."""
+        ranks = self._rank_cache.get((side, entity))
+        if ranks is None:
+            block = (self.by_left if side == 0 else self.by_right).get(entity, [])
+            packed = self.packed()
+            if packed.available and len(block) > 1:
+                counts = packed.counts(block)
+            else:
+                counts = strict_dominance_counts([self.vectors[p] for p in block])
+            ranks = dict(zip(block, counts))
+            self._rank_cache[(side, entity)] = ranks
+        return ranks
+
     def min_rank_left(self, pair: Pair) -> int:
         """|{u2' : s(u1, u2') ≻ s(u1, u2)}| over candidates sharing u1."""
+        if accel_enabled():
+            return self._block_ranks(0, pair[0])[pair]
         vector = self.vectors[pair]
         return sum(
             1
@@ -83,6 +132,8 @@ class VectorIndex:
 
     def min_rank_right(self, pair: Pair) -> int:
         """|{u1' : s(u1', u2) ≻ s(u1, u2)}| over candidates sharing u2."""
+        if accel_enabled():
+            return self._block_ranks(1, pair[1])[pair]
         vector = self.vectors[pair]
         return sum(
             1

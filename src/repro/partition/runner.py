@@ -35,6 +35,7 @@ import sys
 import traceback
 from dataclasses import dataclass, field, replace
 
+from repro.accel.runtime import TIMINGS
 from repro.core.config import RempConfig
 from repro.core.pipeline import (
     LoopCheckpoint,
@@ -189,6 +190,10 @@ class _ShardOutcome:
     result: RempResult
     snapshot: dict = field(default_factory=dict)
     answer_log: list = field(default_factory=list)
+    #: Kernel-timing delta the shard produced (pool workers only — the
+    #: parent merges it into its own registry; inline execution already
+    #: accumulates in-process).
+    timings: dict = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -332,7 +337,9 @@ def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
         if task is None:
             return
         try:
+            before = TIMINGS.snapshot()
             outcome = _execute_shard(task, base_state, crowd, event_queue.put)
+            outcome.timings = TIMINGS.diff(before)
             event_queue.put(("done", task.shard.shard_id, outcome))
         except Exception:
             event_queue.put(("error", task.shard.shard_id, traceback.format_exc()))
@@ -720,6 +727,10 @@ class ParallelRunner:
         self, outcome: _ShardOutcome, outcomes: dict[int, _ShardOutcome]
     ) -> None:
         outcomes[outcome.shard_id] = outcome
+        if outcome.timings:
+            # Fold a pool worker's kernel timings into the parent registry
+            # so partitioned runs report a complete timing profile.
+            TIMINGS.merge(outcome.timings)
         if self._store is not None:
             self._store.save_shard_result(
                 self._run_id,

@@ -36,6 +36,7 @@ import threading
 import traceback
 from concurrent.futures import Future, ThreadPoolExecutor
 
+from repro.accel.runtime import TIMINGS, accel_enabled, stages_doc
 from repro.core import Remp, RempConfig
 from repro.core.pipeline import (
     LoopCheckpoint,
@@ -132,6 +133,10 @@ class MatchingSession:
         self._lock = threading.RLock()
         self._loop_state = None
         self._platform: CrowdPlatform | None = None
+        #: Kernel-timing snapshot taken when execution starts; the delta
+        #: is persisted at finish (attribution is best-effort when
+        #: several sessions share the process, see repro.accel.runtime).
+        self._timings_before: dict | None = None
         self._history = []
         self._base_questions = 0
         self._billed_at_start = 0
@@ -155,10 +160,26 @@ class MatchingSession:
         return len(self._history)
 
     # ------------------------------------------------------------------
+    def _timings_start(self) -> None:
+        if self._timings_before is None:
+            self._timings_before = TIMINGS.snapshot()
+
+    def _save_timings(self) -> None:
+        """Persist the kernel/stage timing delta this session produced."""
+        if self._timings_before is None:
+            return
+        delta = TIMINGS.diff(self._timings_before)
+        self._store.save_run_timings(
+            self.run_id,
+            {"accel": accel_enabled(), "stages": stages_doc(delta)},
+        )
+
+    # ------------------------------------------------------------------
     def _ensure_started(self) -> None:
         """Prepare (through the cache), build the crowd, load any checkpoint."""
         if self._loop_state is not None:
             return
+        self._timings_start()
         self.status = PREPARING
         self._store.update_run_status(self.run_id, PREPARING)
         state: PreparedState = self._prepared_provider(
@@ -253,6 +274,7 @@ class MatchingSession:
             self._result = result
             self.status = DONE
             self._store.finish_run(self.run_id, result)
+            self._save_timings()
             return result
 
     def run(self) -> RempResult:
@@ -288,6 +310,7 @@ class MatchingSession:
         with self._lock:
             if self._result is not None:
                 return self._result
+            self._timings_start()
             self.status = PREPARING
             self._store.update_run_status(self.run_id, PREPARING)
             state: PreparedState = self._prepared_provider(
@@ -312,6 +335,7 @@ class MatchingSession:
             self._result = result
             self.status = DONE
             self._store.finish_run(self.run_id, result)
+            self._save_timings()
             return result
 
     def _run_stream(self) -> RempResult:
@@ -327,6 +351,7 @@ class MatchingSession:
         with self._lock:
             if self._result is not None:
                 return self._result
+            self._timings_start()
             self.status = PREPARING
             self._store.update_run_status(self.run_id, PREPARING)
             state, dirty, reuse, truth = self._stream_provider(self)
@@ -356,6 +381,7 @@ class MatchingSession:
             self._result = outcome.result
             self.status = DONE
             self._store.finish_run(self.run_id, outcome.result)
+            self._save_timings()
             return self._result
 
     def result(self) -> RempResult | None:

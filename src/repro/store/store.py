@@ -94,6 +94,11 @@ CREATE TABLE IF NOT EXISTS stream_units (
     updated_at TEXT NOT NULL,
     PRIMARY KEY (run_id, unit_key)
 );
+CREATE TABLE IF NOT EXISTS run_timings (
+    run_id     TEXT PRIMARY KEY,
+    payload    TEXT NOT NULL,
+    updated_at TEXT NOT NULL
+);
 """
 
 #: Columns added after the v1 schema.  New databases get them through
@@ -593,6 +598,28 @@ class RunStore:
                 "DELETE FROM stream_units WHERE run_id = ?", (run_id,)
             )
         return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Kernel / stage timing profiles (repro.accel)
+    # ------------------------------------------------------------------
+    def save_run_timings(self, run_id: str, timings: dict) -> None:
+        """Persist a run's stage/kernel timing profile (JSON document)."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO run_timings (run_id, payload, updated_at)"
+                " VALUES (?, ?, ?)"
+                " ON CONFLICT(run_id) DO UPDATE SET"
+                " payload = excluded.payload, updated_at = excluded.updated_at",
+                (run_id, json.dumps(timings, sort_keys=True), _now()),
+            )
+
+    def load_run_timings(self, run_id: str) -> dict | None:
+        """The timing profile saved for a run, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM run_timings WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return None if row is None else json.loads(row["payload"])
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

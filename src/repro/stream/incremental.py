@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.accel.runtime import TIMINGS
 from repro.core.attributes import match_attributes
 from repro.core.candidates import CandidateSet, _token_index
 from repro.core.config import RempConfig
@@ -285,12 +286,14 @@ def incremental_prepare(
     fingerprint = kb_pair_fingerprint(kb1, kb2)
     dirty1, dirty2 = _dirty_entities(delta, state.kb1, state.kb2)
 
-    candidates = _splice_candidates(
-        state.candidates, kb1, kb2, dirty1, dirty2, config.label_similarity_threshold
-    )
-    attribute_matches = match_attributes(
-        kb1, kb2, candidates.initial_matches, literal_threshold=config.literal_threshold
-    )
+    with TIMINGS.timed("stream.splice_candidates"):
+        candidates = _splice_candidates(
+            state.candidates, kb1, kb2, dirty1, dirty2, config.label_similarity_threshold
+        )
+    with TIMINGS.timed("stream.attributes"):
+        attribute_matches = match_attributes(
+            kb1, kb2, candidates.initial_matches, literal_threshold=config.literal_threshold
+        )
     if attribute_matches != state.attribute_matches:
         # Every vector component shifts when the attribute alignment
         # does; nothing downstream of the candidate set survives.
@@ -304,54 +307,59 @@ def incremental_prepare(
 
     # Vectors: only pairs whose entities were touched can change (the
     # attribute alignment is unchanged); removed pairs drop out.
-    vectors = {p: v for p, v in state.vector_index.vectors.items() if p in candidates.pairs}
-    if seeds:
-        raw = build_similarity_vectors(
-            kb1, kb2, seeds, attribute_matches, config.literal_threshold
-        )
-        for pair, vector in raw.items():
-            vectors[pair] = (candidates.priors.get(pair, 0.0),) + vector
-    index = VectorIndex(vectors)
+    with TIMINGS.timed("stream.vectors"):
+        vectors = {
+            p: v for p, v in state.vector_index.vectors.items() if p in candidates.pairs
+        }
+        if seeds:
+            raw = build_similarity_vectors(
+                kb1, kb2, seeds, attribute_matches, config.literal_threshold
+            )
+            for pair, vector in raw.items():
+                vectors[pair] = (candidates.priors.get(pair, 0.0),) + vector
+        index = VectorIndex(vectors)
 
     # Pruning: re-run on the dirty closures only.  Blocks are per-entity
     # and closures are entity-closed, so the local verdicts coincide with
     # a global run's.
-    dirty_new = closure & candidates.pairs
-    retained = (state.retained - closure) | partial_order_pruning(
-        dirty_new, index, config.k
-    )
+    with TIMINGS.timed("stream.pruning"):
+        dirty_new = closure & candidates.pairs
+        retained = (state.retained - closure) | partial_order_pruning(
+            dirty_new, index, config.k
+        )
 
     # ER graph: rebuild dirty-closure vertices wholesale, then the clean
     # vertices relation-adjacent to a pair whose retained status flipped.
-    changed_retained = state.retained ^ retained
-    graph = ERGraph(vertices=set(retained))
-    rebuild = retained & closure
-    for vertex in retained - closure:
-        groups = state.graph.groups.get(vertex)
-        if groups is not None:
-            graph.groups[vertex] = groups
-    by_left: dict[str, list[Pair]] = {}
-    for pair in retained - closure:
-        by_left.setdefault(pair[0], []).append(pair)
-    affected: set[Pair] = set()
-    for a, b in changed_retained:
-        near1 = _entity_neighbors(kb1, a)
-        near2 = _entity_neighbors(kb2, b)
-        if not near1 or not near2:
-            continue
-        for entity1 in near1:
-            for pair in by_left.get(entity1, ()):
-                if pair[1] in near2:
-                    affected.add(pair)
-    group_changed: set[Pair] = set()
-    for vertex in sorted(rebuild | affected):
-        groups = _vertex_groups(kb1, kb2, vertex, retained)
-        if vertex in affected and groups != state.graph.groups.get(vertex, {}):
-            group_changed.add(vertex)
-        if groups:
-            graph.groups[vertex] = groups
-        else:
-            graph.groups.pop(vertex, None)
+    with TIMINGS.timed("stream.graph_splice"):
+        changed_retained = state.retained ^ retained
+        graph = ERGraph(vertices=set(retained))
+        rebuild = retained & closure
+        for vertex in retained - closure:
+            groups = state.graph.groups.get(vertex)
+            if groups is not None:
+                graph.groups[vertex] = groups
+        by_left: dict[str, list[Pair]] = {}
+        for pair in retained - closure:
+            by_left.setdefault(pair[0], []).append(pair)
+        affected: set[Pair] = set()
+        for a, b in changed_retained:
+            near1 = _entity_neighbors(kb1, a)
+            near2 = _entity_neighbors(kb2, b)
+            if not near1 or not near2:
+                continue
+            for entity1 in near1:
+                for pair in by_left.get(entity1, ()):
+                    if pair[1] in near2:
+                        affected.add(pair)
+        group_changed: set[Pair] = set()
+        for vertex in sorted(rebuild | affected):
+            groups = _vertex_groups(kb1, kb2, vertex, retained)
+            if vertex in affected and groups != state.graph.groups.get(vertex, {}):
+                group_changed.add(vertex)
+            if groups:
+                graph.groups[vertex] = groups
+            else:
+                graph.groups.pop(vertex, None)
 
     signatures = {}
     for pair in retained:

@@ -10,6 +10,7 @@ not linguistic perfection.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
@@ -73,11 +74,15 @@ def tokenize(text: str) -> list[str]:
     return _TOKEN_RE.findall(text.lower())
 
 
+@lru_cache(maxsize=65536)
 def normalize_label(text: str, stemming: bool = True) -> frozenset[str]:
     """Normalize an entity label into a canonical token set.
 
     Tokens are lowercased, split on non-alphanumerics and (optionally)
-    stemmed.  The result is a frozenset so it can key caches directly.
+    stemmed.  The result is a frozenset so it can key caches directly —
+    and the function itself is memoized: labels and literals recur across
+    candidate pairs, and the hot paths re-normalize them once per call
+    site otherwise.
     """
     tokens = tokenize(text)
     if stemming:

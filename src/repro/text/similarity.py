@@ -14,22 +14,33 @@ from typing import Collection
 from repro.text.normalize import normalize_label
 
 
+def _as_set(values: Collection) -> frozenset | set:
+    """Avoid copying collections that already are sets.
+
+    These measures run once per candidate pair on pre-normalized
+    frozensets; the redundant ``set()`` copy used to dominate their cost.
+    """
+    if isinstance(values, (set, frozenset)):
+        return values
+    return set(values)
+
+
 def jaccard(a: Collection, b: Collection) -> float:
     """Jaccard coefficient |a ∩ b| / |a ∪ b| on two collections.
 
     Empty-vs-empty is defined as 1.0 (identical absence of information);
     empty-vs-nonempty is 0.0.
     """
-    sa, sb = set(a), set(b)
+    sa, sb = _as_set(a), _as_set(b)
     if not sa and not sb:
         return 1.0
-    union = len(sa | sb)
-    return len(sa & sb) / union
+    inter = len(sa & sb)
+    return inter / (len(sa) + len(sb) - inter)
 
 
 def dice(a: Collection, b: Collection) -> float:
     """Dice coefficient 2|a ∩ b| / (|a| + |b|)."""
-    sa, sb = set(a), set(b)
+    sa, sb = _as_set(a), _as_set(b)
     if not sa and not sb:
         return 1.0
     denom = len(sa) + len(sb)
@@ -38,7 +49,7 @@ def dice(a: Collection, b: Collection) -> float:
 
 def cosine_tokens(a: Collection, b: Collection) -> float:
     """Set-based cosine similarity |a ∩ b| / sqrt(|a| · |b|)."""
-    sa, sb = set(a), set(b)
+    sa, sb = _as_set(a), _as_set(b)
     if not sa and not sb:
         return 1.0
     if not sa or not sb:

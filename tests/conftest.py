@@ -15,8 +15,35 @@ state must prepare their own.
 
 import pytest
 
+from repro.accel.dominance import _counts_python, strict_dominance_counts
+from repro.accel.literals import LiteralScorer
+from repro.accel.runtime import accel_enabled, force_accel
 from repro.core import Remp
 from repro.datasets import clustered_bundle, load_dataset
+from repro.text.literal import literal_set_similarity
+
+
+# ----------------------------------------------------------------------
+# Accel smoke: both kernel paths stay covered every session
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session", autouse=True)
+def _accel_smoke():
+    """Cross-check the accel kernels against the reference in BOTH modes.
+
+    The suite runs with whatever ``REPRO_NO_ACCEL`` the environment set
+    (CI exercises both); this smoke forces each mode once per session so
+    a kernel regression cannot hide behind the suite-wide default.
+    """
+    block = [(1.0, 0.5), (0.5, 0.5), (1.0, 1.0), (0.5, 0.5), (0.0, 1.0)] * 6
+    values_a, values_b = ("cradle rock", 1999, "!!!"), ("rock cradle", "1999")
+    for enabled in (True, False):
+        with force_accel(enabled):
+            assert accel_enabled() is enabled
+            assert strict_dominance_counts(block, cap=4) == _counts_python(block, 4)
+            assert LiteralScorer(0.9).set_similarity(
+                values_a, values_b
+            ) == literal_set_similarity(values_a, values_b, 0.9)
+    yield
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,259 @@
+"""The accel equivalence oracle: kernels vs pure-Python reference.
+
+Every kernel in :mod:`repro.accel` claims *byte-identical* results to the
+reference path it replaces.  This suite pins that claim three ways:
+
+* property-based (hypothesis) equivalence of the dominance kernels and
+  the interned simL scorer against the reference functions, across
+  seeds, scales, attribute counts, degenerate blocks of size <= k,
+  duplicate vectors and empty-token labels;
+* serialized-document identity of a full ``Remp.prepare`` with the accel
+  layer on vs off;
+* full-run identity (including per-loop question batches, which are
+  sensitive to inferred-set iteration order) through the incremental
+  propagator, with and without a mid-run checkpoint restore.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.dominance import (
+    PackedVectors,
+    _any_dominator_python,
+    _counts_python,
+    any_strict_dominator,
+    strict_dominance_counts,
+)
+from repro.accel.literals import LiteralScorer
+from repro.accel.runtime import accel_enabled, force_accel
+from repro.core import Remp, RempConfig
+from repro.core.pruning import partial_order_pruning, pruning_error_rate
+from repro.core.vectors import VectorIndex
+from repro.crowd import CrowdPlatform
+from repro.datasets import clustered_bundle
+from repro.store.serialize import prepared_state_to_doc, result_to_doc
+from repro.text.literal import literal_set_similarity
+
+# ----------------------------------------------------------------------
+# Kernel-level properties
+# ----------------------------------------------------------------------
+#: Tied component values dominate real blocks; a coarse grid maximizes
+#: duplicate vectors and equal-sum prefixes (the tricky kernel paths).
+_component = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+@st.composite
+def _blocks(draw):
+    width = draw(st.integers(min_value=0, max_value=5))
+    size = draw(st.integers(min_value=0, max_value=64))
+    vector = st.tuples(*[_component] * width)
+    return draw(st.lists(vector, min_size=size, max_size=size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_blocks(), st.sampled_from([None, 1, 2, 4]))
+def test_dominance_counts_match_reference(block, cap):
+    assert strict_dominance_counts(block, cap) == _counts_python(block, cap)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_blocks(), st.sampled_from([None, 4]))
+def test_packed_counts_match_reference(block, cap):
+    vectors = {(f"L{i}", f"R{i}"): v for i, v in enumerate(block)}
+    packed = PackedVectors(vectors)
+    pairs = list(vectors)
+    if not packed.available:
+        return
+    assert packed.counts(pairs, cap) == _counts_python(block, cap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_blocks(), _blocks())
+def test_any_dominator_matches_reference(targets, candidates):
+    width = len(targets[0]) if targets else 0
+    candidates = [c[:width] + (0.0,) * (width - len(c)) for c in candidates]
+    assert any_strict_dominator(targets, candidates) == _any_dominator_python(
+        targets, candidates
+    )
+
+
+#: Literal pool mixing strings, numeric strings, numbers, bools and
+#: labels that normalize to an empty token set ("!!!", "").
+_literal = st.sampled_from(
+    [
+        "The Cradle Will Rock",
+        "cradle rock film",
+        "rock",
+        "1999",
+        " 1999 ",
+        1999,
+        1999.0,
+        2024,
+        3.14,
+        "3.14",
+        True,
+        False,
+        "",
+        "!!!",
+        "Ω λ",
+        0,
+        "nan",
+    ]
+)
+_values = st.lists(_literal, min_size=0, max_size=4).map(tuple)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values, _values, st.sampled_from([0.5, 0.9, 1.0]))
+def test_literal_scorer_matches_reference(values_a, values_b, threshold):
+    scorer = LiteralScorer(threshold)
+    expected = literal_set_similarity(values_a, values_b, threshold)
+    assert scorer.set_similarity(values_a, values_b) == expected
+    # Memoized second call must return the identical float.
+    assert scorer.set_similarity(values_a, values_b) == expected
+
+
+# ----------------------------------------------------------------------
+# Index / pruning equivalence (accel on vs REPRO_NO_ACCEL)
+# ----------------------------------------------------------------------
+@st.composite
+def _vector_indexes(draw):
+    width = draw(st.integers(min_value=1, max_value=4))
+    n_left = draw(st.integers(min_value=1, max_value=8))
+    n_right = draw(st.integers(min_value=1, max_value=8))
+    vector = st.tuples(*[_component] * width)
+    vectors = {}
+    for i in range(n_left):
+        for j in range(n_right):
+            if draw(st.booleans()):
+                vectors[(f"L{i}", f"R{j}")] = draw(vector)
+    return vectors
+
+
+@settings(max_examples=40, deadline=None)
+@given(_vector_indexes(), st.integers(min_value=1, max_value=5))
+def test_pruning_and_min_rank_equivalence(vectors, k):
+    pairs = set(vectors)
+    with force_accel(True):
+        index = VectorIndex(dict(vectors))
+        retained_on = partial_order_pruning(pairs, index, k)
+        ranks_on = {p: index.min_rank(p) for p in pairs}
+    with force_accel(False):
+        index = VectorIndex(dict(vectors))
+        retained_off = partial_order_pruning(pairs, index, k)
+        ranks_off = {p: index.min_rank(p) for p in pairs}
+    assert retained_on == retained_off
+    assert ranks_on == ranks_off
+
+
+@settings(max_examples=30, deadline=None)
+@given(_vector_indexes(), st.data())
+def test_pruning_error_rate_equivalence(vectors, data):
+    pairs = sorted(vectors)
+    gold = set(
+        data.draw(st.lists(st.sampled_from(pairs), unique=True))
+    ) if pairs else set()
+    with force_accel(True):
+        rate_on = pruning_error_rate(set(pairs), VectorIndex(dict(vectors)), gold)
+    with force_accel(False):
+        rate_off = pruning_error_rate(set(pairs), VectorIndex(dict(vectors)), gold)
+    assert rate_on == rate_off
+
+
+# ----------------------------------------------------------------------
+# Pipeline-level byte identity
+# ----------------------------------------------------------------------
+def _bundle():
+    return clustered_bundle(
+        num_clusters=4,
+        movies_per_cluster=3,
+        seed=0,
+        label_noise=0.5,
+        critics_per_cluster=1,
+    )
+
+
+def _dump(doc) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+def test_prepare_byte_identity():
+    bundle = _bundle()
+    with force_accel(True):
+        doc_on = prepared_state_to_doc(Remp().prepare(bundle.kb1, bundle.kb2))
+    with force_accel(False):
+        doc_off = prepared_state_to_doc(Remp().prepare(bundle.kb1, bundle.kb2))
+    assert _dump(doc_on) == _dump(doc_off)
+
+
+def test_full_run_byte_identity():
+    """Loops, question batches and all resolution sets must coincide."""
+    bundle = _bundle()
+
+    def run():
+        platform = CrowdPlatform.with_simulated_workers(
+            bundle.gold_matches, error_rate=0.1, seed=3
+        )
+        return Remp().run(bundle.kb1, bundle.kb2, platform)
+
+    with force_accel(True):
+        result_on = run()
+    with force_accel(False):
+        result_off = run()
+    assert _dump(result_to_doc(result_on)) == _dump(result_to_doc(result_off))
+    assert [r.questions for r in result_on.history] == [
+        r.questions for r in result_off.history
+    ]
+
+
+def test_checkpoint_restore_resets_propagator():
+    """A restored loop state re-primes the incremental propagator.
+
+    Resolutions restored from a snapshot arrive without the propagator
+    having seen the intermediate diffs; the run must still finish
+    byte-identically to an uninterrupted one.
+    """
+    bundle = _bundle()
+    config = RempConfig()
+
+    def platform():
+        return CrowdPlatform.with_simulated_workers(
+            bundle.gold_matches, error_rate=0.1, seed=1
+        )
+
+    with force_accel(True):
+        state = Remp(config).prepare(bundle.kb1, bundle.kb2)
+        straight = result_to_doc(
+            Remp(config).run(bundle.kb1, bundle.kb2, platform(), state=state)
+        )
+        # Collect checkpoints from a throwaway loop drive, then restart
+        # from the first one on a fresh platform that replays its answer
+        # log (the documented resume protocol).
+        checkpoints = []
+        Remp(config).run_loop_phase(
+            state, platform(), on_checkpoint=checkpoints.append
+        )
+        assert checkpoints, "bundle too small to checkpoint mid-loop"
+        resumed_platform = platform()
+        resumed_platform.load_answer_log(checkpoints[0].answer_log)
+        resumed = result_to_doc(
+            Remp(config).run(
+                bundle.kb1,
+                bundle.kb2,
+                resumed_platform,
+                state=state,
+                resume_from=checkpoints[0],
+            )
+        )
+    assert _dump(resumed) == _dump(straight)
+
+
+def test_accel_enabled_by_default_and_env_gated(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_ACCEL", raising=False)
+    assert accel_enabled()
+    monkeypatch.setenv("REPRO_NO_ACCEL", "1")
+    assert not accel_enabled()
+    monkeypatch.setenv("REPRO_NO_ACCEL", "")
+    assert accel_enabled()
