@@ -16,8 +16,12 @@ computed).  Two independent switches select the implementation:
 
 :data:`TIMINGS` aggregates wall-clock per named stage/kernel so the
 service can persist per-run timing profiles (surfaced by
-``repro runs show``).  Accumulation is lock-protected; attribution of a
-stage to a run is best-effort when several sessions share a process.
+``repro runs show``).  Accumulation is lock-protected.  Attribution to
+a run is exact when a :class:`repro.obs.RunScope` is active: the global
+registry *routes* — every stage lands in the process-wide totals and in
+the activated scope's private timings, and ``timed()`` additionally
+emits a trace span — so concurrent sessions persist only their own work
+instead of diffing a shared singleton.
 """
 
 from __future__ import annotations
@@ -26,6 +30,8 @@ import os
 import time
 from contextlib import contextmanager
 from threading import Lock
+
+from repro.obs.context import clear_scope, current_scope
 
 _TRUTHY = ("1", "true", "yes", "on")
 
@@ -124,20 +130,60 @@ def stages_doc(stages: dict[str, tuple[float, int]]) -> dict[str, dict[str, floa
     }
 
 
+class _RoutedTimings(KernelTimings):
+    """The process-wide registry, scope-aware.
+
+    Every :meth:`add` also lands in the active
+    :class:`repro.obs.RunScope`'s private timings (exact per-run
+    attribution), and :meth:`timed` opens a span on the scope's tracer —
+    which is how the prepare stages, accel kernels, stream splices and
+    loop propagation show up in ``trace.jsonl`` without any call-site
+    changes.  ``merge`` routes too, so shard timing deltas shipped back
+    from pool workers fold into the owning session's scope.
+    """
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        super().add(name, seconds, calls)
+        scope = current_scope()
+        if scope is not None:
+            scope.timings.add(name, seconds, calls)
+
+    @contextmanager
+    def timed(self, name: str):
+        scope = current_scope()
+        tracer = scope.tracer if scope is not None and scope.tracer.enabled else None
+        if tracer is None:
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.add(name, time.perf_counter() - start)
+            return
+        with tracer.span(name):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.add(name, time.perf_counter() - start)
+
+
 #: Process-wide timing registry for the accel layer and pipeline stages.
-TIMINGS = KernelTimings()
+TIMINGS = _RoutedTimings()
 
 
 def _reset_after_fork() -> None:  # pragma: no cover - exercised via pools
-    """Re-arm the registry in forked children.
+    """Re-arm the registry (and detach any scope) in forked children.
 
     A pool worker may fork while another service thread holds the
     timing lock (it would be inherited held, deadlocking the child's
     first snapshot), and inherited counters would double-count once the
-    child ships its delta back to the parent.  Fresh lock, zero counters.
+    child ships its delta back to the parent.  Fresh lock, zero
+    counters; the inherited run scope is dropped for the same reason —
+    the child buffers into its own scope and ships the export back.
     """
     TIMINGS._lock = Lock()
     TIMINGS._data = {}
+    clear_scope()
 
 
 if hasattr(os, "register_at_fork"):

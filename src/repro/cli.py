@@ -25,7 +25,9 @@ Commands
 ``serve-batch``
     Run several datasets concurrently through the matching service.
 ``runs``
-    Query the run ledger (``runs list`` / ``runs show RUN_ID``).
+    Query the run ledger (``runs list`` / ``runs show RUN_ID``), dump a
+    run's observability data (``runs trace`` / ``runs metrics``) or
+    materialise its artifact directory (``runs export-artifacts``).
 ``cache``
     Inspect or clear the prepared-state cache (``cache info`` / ``clear``).
 ``experiment``
@@ -47,6 +49,7 @@ from repro.crowd import CrowdPlatform
 from repro.datasets import DATASET_NAMES, EVOLVING_NAME, load_dataset
 from repro.eval import evaluate_matches
 from repro.kb import describe, save_kb_json
+from repro.obs import export_run_artifacts
 from repro.partition import (
     CrowdSpec,
     ParallelRunner,
@@ -411,11 +414,37 @@ def _cmd_runs(args: argparse.Namespace) -> int:
                     f"{r.strategy:<8} {r.status:<9} {r.questions_asked:>9}  {r.updated_at}"
                 )
             return 0
-        # runs show
         record = store.get_run(args.run_id)
         if record is None:
             print(f"unknown run {args.run_id!r}", file=sys.stderr)
             return 1
+        if args.runs_command == "trace":
+            doc = store.load_run_obs(args.run_id) or {}
+            spans = doc.get("trace", [])
+            if not spans:
+                print(f"no trace recorded for run {args.run_id!r}", file=sys.stderr)
+                return 1
+            for span in spans:
+                print(json.dumps(span, sort_keys=True))
+            if doc.get("trace_dropped"):
+                print(
+                    f"({doc['trace_dropped']} span(s) dropped at the buffer cap)",
+                    file=sys.stderr,
+                )
+            return 0
+        if args.runs_command == "metrics":
+            doc = store.load_run_obs(args.run_id) or {}
+            out = {
+                "metrics": doc.get("metrics") or {"counters": {}, "gauges": {}},
+                "cost_ledger": doc.get("cost_ledger"),
+            }
+            print(json.dumps(out, indent=1, sort_keys=True))
+            return 0
+        if args.runs_command == "export-artifacts":
+            dest = export_run_artifacts(store, args.run_id, root=args.output)
+            print(f"wrote run artifacts to {dest}")
+            return 0
+        # runs show
         for key in (
             "run_id", "dataset", "seed", "scale", "config_hash", "strategy",
             "error_rate", "status", "questions_asked", "created_at", "updated_at",
@@ -450,6 +479,8 @@ def _cmd_runs(args: argparse.Namespace) -> int:
                     print(
                         f"  {name:<28} {entry['seconds']:>9.3f}s x{entry['calls']}"
                     )
+                total = sum(entry["seconds"] for entry in stages.values())
+                print(f"  {'total (wall-clock)':<28} {total:>9.3f}s")
         result = store.get_result(args.run_id)
         if result is not None:
             print(
@@ -634,6 +665,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_runs_show = runs_sub.add_parser("show", help="show one run in detail")
     p_runs_show.add_argument("run_id")
     p_runs_show.add_argument("--store", default=argparse.SUPPRESS)
+    p_runs_trace = runs_sub.add_parser(
+        "trace", help="dump a run's trace spans as JSONL"
+    )
+    p_runs_trace.add_argument("run_id")
+    p_runs_trace.add_argument("--store", default=argparse.SUPPRESS)
+    p_runs_metrics = runs_sub.add_parser(
+        "metrics", help="print a run's metrics and cost ledger as JSON"
+    )
+    p_runs_metrics.add_argument("run_id")
+    p_runs_metrics.add_argument("--store", default=argparse.SUPPRESS)
+    p_runs_export = runs_sub.add_parser(
+        "export-artifacts",
+        help="materialise runs/<run_id>/ (meta, trace, metrics, ledger, result)",
+    )
+    p_runs_export.add_argument("run_id")
+    p_runs_export.add_argument(
+        "--output", default="runs", metavar="DIR",
+        help="artifact root directory (default: runs/)",
+    )
+    p_runs_export.add_argument("--store", default=argparse.SUPPRESS)
     p_runs.set_defaults(func=_cmd_runs)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the prepared-state cache")

@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.accel.propagation import IncrementalPropagator
 from repro.accel.runtime import TIMINGS, accel_enabled
+from repro.obs import runtime as obs
 from repro.core.attributes import AttributeMatch, match_attributes
 from repro.core.candidates import CandidateSet, generate_candidates
 from repro.core.config import RempConfig
@@ -194,6 +195,14 @@ class Remp:
         index = VectorIndex(vectors)
         with TIMINGS.timed("prepare.pruning"):
             retained = partial_order_pruning(candidates.pairs, index, config.k)
+        obs.count("prepare.pruning.candidates", len(candidates.pairs))
+        obs.count("prepare.pruning.retained", len(retained))
+        obs.count("prepare.pruning.discarded", len(candidates.pairs) - len(retained))
+        if candidates.pairs:
+            obs.gauge(
+                "prepare.pruning.discard_rate",
+                round(1.0 - len(retained) / len(candidates.pairs), 6),
+            )
         with TIMINGS.timed("prepare.graph"):
             graph = build_er_graph(kb1, kb2, retained)
         with TIMINGS.timed("prepare.signatures"):
@@ -331,32 +340,36 @@ class Remp:
         """
         config = self.config
         kb1, kb2 = loop_state.state.kb1, loop_state.state.kb2
-        loop_state.propagate(kb1, kb2)
-        candidates = loop_state.askable_questions()
-        if not candidates:
-            return None
-        if remaining_budget is not None and remaining_budget <= 0:
-            return None
-        batch = self._select(strategy, candidates, loop_state, remaining_budget)
-        if not batch:
-            return None
-        answers = platform.ask_batch(batch)
-        truth = infer_truths(
-            answers,
-            loop_state.priors,
-            config.match_posterior,
-            config.non_match_posterior,
-            config.default_prior,
-        )
-        loop_state.apply_truth(truth)
-        return LoopRecord(
-            loop_index=loop_index,
-            questions=batch,
-            labeled_matches=len(truth.matches),
-            labeled_non_matches=len(truth.non_matches),
-            unresolved_questions=len(truth.unresolved),
-            inferred_matches_so_far=len(loop_state.inferred_matches),
-        )
+        with obs.span("loop.iteration", loop=loop_index):
+            loop_state.propagate(kb1, kb2)
+            candidates = loop_state.askable_questions()
+            if not candidates:
+                return None
+            if remaining_budget is not None and remaining_budget <= 0:
+                return None
+            batch = self._select(strategy, candidates, loop_state, remaining_budget)
+            if not batch:
+                return None
+            billed_before = platform.questions_asked
+            answers = platform.ask_batch(batch)
+            truth = infer_truths(
+                answers,
+                loop_state.priors,
+                config.match_posterior,
+                config.non_match_posterior,
+                config.default_prior,
+            )
+            loop_state.apply_truth(truth)
+            obs.count("crowd.questions_billed", platform.questions_asked - billed_before)
+            obs.count("loop.iterations")
+            return LoopRecord(
+                loop_index=loop_index,
+                questions=batch,
+                labeled_matches=len(truth.matches),
+                labeled_non_matches=len(truth.non_matches),
+                unresolved_questions=len(truth.unresolved),
+                inferred_matches_so_far=len(loop_state.inferred_matches),
+            )
 
     def propagate_only(
         self,
@@ -449,12 +462,14 @@ class Remp:
                 loop_state.priors.update(truth.unresolved)
                 return None
 
-        predicted = classifier.classify(
-            isolated_unresolved,
-            loop_state.resolved_matches,
-            loop_state.resolved_non_matches,
-            ask=ask,
-        )
+        with obs.span("loop.isolated_classify", pairs=len(isolated_unresolved)):
+            predicted = classifier.classify(
+                isolated_unresolved,
+                loop_state.resolved_matches,
+                loop_state.resolved_non_matches,
+                ask=ask,
+            )
+        obs.count("crowd.questions_billed", classifier.questions_asked)
         return predicted, classifier.questions_asked
 
 

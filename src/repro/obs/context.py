@@ -1,0 +1,45 @@
+"""The active run scope, as a :mod:`contextvars` variable.
+
+This module is the bottom of the observability dependency graph: it
+imports nothing from :mod:`repro`, so the low-level accel runtime (which
+everything else imports) can consult the current scope without a cycle.
+
+A *scope* is any object exposing ``timings`` (a
+:class:`repro.accel.runtime.KernelTimings`), ``tracer`` (a
+:class:`repro.obs.trace.Tracer`) and ``metrics`` (a
+:class:`repro.obs.metrics.MetricsRegistry`) — in practice always a
+:class:`repro.obs.runtime.RunScope`.  Context variables give exact
+attribution: each service thread (and each activation on the main
+thread) sees only the scope it activated, so two concurrent sessions can
+no longer contaminate each other's persisted profiles.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+
+_SCOPE: ContextVar = ContextVar("repro_obs_scope", default=None)
+
+
+def current_scope():
+    """The active run scope, or ``None`` outside any activation."""
+    return _SCOPE.get()
+
+
+def push_scope(scope):
+    """Activate ``scope``; returns a token for :func:`pop_scope`."""
+    return _SCOPE.set(scope)
+
+
+def pop_scope(token) -> None:
+    _SCOPE.reset(token)
+
+
+def clear_scope() -> None:
+    """Drop any inherited scope (used by the after-fork hook).
+
+    A pool worker forked mid-run inherits the parent's context — and
+    with it the parent's scope object, whose buffers the child must not
+    write into (they would double-count once the shard delta ships back).
+    """
+    _SCOPE.set(None)

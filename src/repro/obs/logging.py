@@ -1,0 +1,58 @@
+"""Stdlib logging for the serving layers, gated by ``REPRO_LOG``.
+
+``REPRO_LOG=<level>`` (``debug``/``info``/``warning``/…) attaches one
+stderr handler to the ``repro`` logger tree at that level; unset, the
+tree gets a :class:`logging.NullHandler` and stays silent — library
+code must never spam a host application's root logger.  The progress
+printer keeps its own stderr line (it is a UI, not a log); everything
+else in ``service``/``partition``/``stream`` logs through here.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+LOG_ENV = "REPRO_LOG"
+
+#: The env value the handler currently reflects (None = not configured).
+_applied: str | None = None
+
+
+def _configure() -> None:
+    """(Re)apply the ``REPRO_LOG`` setting to the ``repro`` logger tree.
+
+    Idempotent per env value, and cheap when nothing changed — safe to
+    call on every :func:`get_logger`.  Tests (and long-lived hosts) may
+    flip the variable between calls; the handler follows.
+    """
+    global _applied
+    value = os.environ.get(LOG_ENV, "").strip()
+    if value == _applied:
+        return
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    if value:
+        level = getattr(logging, value.upper(), None)
+        if not isinstance(level, int):
+            level = logging.INFO
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+        root.setLevel(level)
+    else:
+        root.addHandler(logging.NullHandler())
+        root.setLevel(logging.WARNING)
+    _applied = value
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree, configured per ``REPRO_LOG``."""
+    _configure()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

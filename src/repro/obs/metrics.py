@@ -1,0 +1,65 @@
+"""Run-scoped metrics: named counters and gauges.
+
+A :class:`MetricsRegistry` is the numeric half of :mod:`repro.obs`:
+counters accumulate (questions billed, cache hits, pruning discards,
+shard lifecycle transitions, stream unit reuse), gauges hold the last
+observed value (reuse rate, shard count).  Registries merge — shard
+workers ship their registry document back with the shard outcome and
+the parent folds it in, exactly like the pool timing deltas.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MetricsRegistry:
+    """Thread-safe counter/gauge registry with a stable JSON document."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest observation."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    def merge(self, doc: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its document) into this one.
+
+        Counters add; gauges last-write-wins — the same semantics a
+        single registry would have seen had the work run in-process.
+        """
+        if isinstance(doc, MetricsRegistry):
+            doc = doc.as_doc()
+        with self._lock:
+            for name, value in doc.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(doc.get("gauges", {}))
+
+    def as_doc(self) -> dict:
+        """JSON-able snapshot: ``{"counters": {...}, "gauges": {...}}``."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+            }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(doc)
+        return registry

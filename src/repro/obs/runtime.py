@@ -1,0 +1,113 @@
+"""The run scope: one observability container per run (or shard task).
+
+A :class:`RunScope` bundles the three collectors — a
+:class:`~repro.obs.trace.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry` and a private
+:class:`~repro.accel.runtime.KernelTimings` — and activates them via
+the :mod:`repro.obs.context` context variable.  While a scope is
+active, every :data:`repro.accel.runtime.TIMINGS` stage automatically
+lands in the scope's own timings *and* emits a span, and the module
+helpers below (:func:`count`, :func:`gauge`, :func:`span`,
+:func:`event`) route to the scope; outside any activation they are
+no-ops, so library code can instrument unconditionally.
+
+This replaces the snapshot/diff dance against the global ``TIMINGS``
+singleton: a session persists ``scope.timings`` — only what ran under
+its own activations — so concurrent sessions can no longer contaminate
+each other's profiles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.accel.runtime import KernelTimings, stages_doc
+from repro.obs.context import current_scope, pop_scope, push_scope
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NO_SPAN, Tracer
+
+
+class RunScope:
+    """Per-run collectors plus the activation context manager."""
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        *,
+        shard_id: int | None = None,
+        stream_step: int | None = None,
+        trace: bool | None = None,
+    ):
+        self.run_id = run_id
+        self.tracer = Tracer(
+            run_id, shard_id=shard_id, stream_step=stream_step, enabled=trace
+        )
+        self.metrics = MetricsRegistry()
+        self.timings = KernelTimings()
+
+    @contextmanager
+    def activate(self):
+        """Make this the current scope for the calling context."""
+        token = push_scope(self)
+        try:
+            yield self
+        finally:
+            pop_scope(token)
+
+    # ------------------------------------------------------------------
+    def absorb(self, *, spans: list | None = None, metrics: dict | None = None) -> None:
+        """Fold a child scope's exported spans/metrics into this one.
+
+        Shard timings travel separately (``TIMINGS.merge`` routes to the
+        active scope), mirroring how the pool has always shipped deltas.
+        """
+        if spans:
+            self.tracer.add_spans(spans)
+        if metrics:
+            self.metrics.merge(metrics)
+
+    def export(self) -> dict:
+        """JSON-able document of everything the scope collected."""
+        doc = {
+            "metrics": self.metrics.as_doc(),
+            "timings": stages_doc(self.timings.snapshot()),
+            "trace": self.tracer.spans(),
+        }
+        if self.tracer.dropped:
+            doc["trace_dropped"] = self.tracer.dropped
+        return doc
+
+
+# ----------------------------------------------------------------------
+# Scope-routed module helpers (no-ops outside an activation)
+# ----------------------------------------------------------------------
+def count(name: str, value: float = 1) -> None:
+    scope = current_scope()
+    if scope is not None:
+        scope.metrics.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    scope = current_scope()
+    if scope is not None:
+        scope.metrics.gauge(name, value)
+
+
+def span(name: str, **fields):
+    scope = current_scope()
+    if scope is None or not scope.tracer.enabled:
+        return NO_SPAN
+    return scope.tracer.span(name, **fields)
+
+
+def event(name: str, **fields) -> None:
+    scope = current_scope()
+    if scope is not None:
+        scope.tracer.event(name, **fields)
+
+
+def absorb(*, spans: list | None = None, metrics: dict | None = None) -> None:
+    """Fold child spans/metrics into the active scope, if any."""
+    scope = current_scope()
+    if scope is not None:
+        scope.absorb(spans=spans, metrics=metrics)

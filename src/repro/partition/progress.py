@@ -51,9 +51,17 @@ class ShardProgressPrinter:
         self.stream.flush()
 
     def close(self) -> None:
-        """Finish the live line (newline) once the run is over."""
-        if self.live and not self._closed and self._status:
-            self.stream.write("\r\x1b[2K" + self.render() + "\n")
+        """Write the final summary line once the run is over.
+
+        On a TTY this finishes the live line (newline); on a pipe the
+        same summary prints as one extra plain line, so piped logs end
+        with the run's totals instead of the last raw event.
+        """
+        if not self._closed and self._status:
+            if self.live:
+                self.stream.write("\r\x1b[2K" + self.render() + "\n")
+            else:
+                self.stream.write(self.render() + "\n")
             self.stream.flush()
         self._closed = True
 

@@ -37,6 +37,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.accel.runtime import TIMINGS
 from repro.core.config import RempConfig
+from repro.obs import runtime as obs
+from repro.obs.logging import get_logger
 from repro.core.pipeline import (
     LoopCheckpoint,
     PreparedState,
@@ -55,6 +57,8 @@ from repro.partition.partitioner import (
 )
 
 Pair = tuple[str, str]
+
+log = get_logger("partition")
 
 
 def shard_seed(seed: int, shard_id: int) -> int:
@@ -194,6 +198,11 @@ class _ShardOutcome:
     #: parent merges it into its own registry; inline execution already
     #: accumulates in-process).
     timings: dict = field(default_factory=dict)
+    #: Spans and metrics the shard's worker-side run scope buffered
+    #: (pool workers only — inline execution writes straight into the
+    #: session scope).  The parent absorbs both in ``_finish_shard``.
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -228,6 +237,16 @@ def _execute_shard(
     ``("checkpoint", shard_id, LoopCheckpoint)`` messages; the parent
     persists checkpoints so children never touch the store.
     """
+    shard = task.shard
+    with obs.span(
+        "shard.execute", shard=shard.shard_id, phase=shard.kind, pairs=shard.num_pairs
+    ):
+        return _run_shard(task, base_state, crowd, emit)
+
+
+def _run_shard(
+    task: _ShardTask, base_state: PreparedState, crowd: CrowdSpec, emit
+) -> _ShardOutcome:
     shard = task.shard
     phase = shard.kind
     shard_state = shard.slice(base_state, localize=task.localize)
@@ -337,9 +356,16 @@ def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
         if task is None:
             return
         try:
-            before = TIMINGS.snapshot()
-            outcome = _execute_shard(task, base_state, crowd, event_queue.put)
-            outcome.timings = TIMINGS.diff(before)
+            # A per-task run scope gives exact attribution: the worker's
+            # stages/spans/metrics land in the scope's private buffers
+            # (stamped with the shard id) and ship back with the outcome
+            # — no snapshot/diff against the process-wide registry.
+            scope = obs.RunScope(shard_id=task.shard.shard_id)
+            with scope.activate():
+                outcome = _execute_shard(task, base_state, crowd, event_queue.put)
+            outcome.timings = scope.timings.snapshot()
+            outcome.spans = scope.tracer.spans()
+            outcome.metrics = scope.metrics.as_doc()
             event_queue.put(("done", task.shard.shard_id, outcome))
         except Exception:
             event_queue.put(("error", task.shard.shard_id, traceback.format_exc()))
@@ -447,6 +473,11 @@ class ParallelRunner:
         self.unit_records: dict[str, UnitRecord] = {}
         #: Content keys restored from ``reuse`` during the last run.
         self.reused_keys: set[str] = set()
+        #: Per-shard billing items from the last :meth:`run` — the
+        #: service's cost ledger for partitioned runs.  Shards ask about
+        #: disjoint pair sets, so the item questions sum to the merged
+        #: result's ``questions_asked`` exactly.
+        self.shard_costs: list[dict] = []
 
     # ------------------------------------------------------------------
     def plan(self, state: PreparedState) -> PartitionPlan:
@@ -465,7 +496,15 @@ class ParallelRunner:
         outcomes: dict[int, _ShardOutcome] = {}
         self.unit_records = {}
         self.reused_keys = set()
+        self.shard_costs = []
         keys = self._shard_keys(plan)
+        obs.gauge("partition.shards", len(plan.shards))
+        log.info(
+            "partition plan: %d graph + %d isolated shards, workers=%d",
+            len(plan.graph_shards),
+            len(plan.isolated_shards),
+            self.workers,
+        )
 
         graph_shards = plan.graph_shards
         # Weight by loop pairs: rider isolated pairs can never consume a
@@ -519,6 +558,15 @@ class ParallelRunner:
                     reused=key in self.reused_keys,
                 )
 
+        self.shard_costs = [
+            {
+                "scope": "shard",
+                "key": str(shard_id),
+                "kind": outcome.kind,
+                "questions": outcome.result.questions_asked,
+            }
+            for shard_id, outcome in sorted(outcomes.items())
+        ]
         return merge_shard_results(
             [(shard_id, outcome.result) for shard_id, outcome in outcomes.items()]
         )
@@ -709,6 +757,7 @@ class ParallelRunner:
         if failure is not None:
             shard_id, trace = failure
             phases = {task.shard.shard_id: task.shard.kind for task in tasks}
+            log.error("shard %d failed:\n%s", shard_id, trace)
             self._emit(ShardEvent(shard_id, "failed", phases.get(shard_id, GRAPH)))
             raise RuntimeError(f"shard {shard_id} failed:\n{trace}")
 
@@ -729,8 +778,11 @@ class ParallelRunner:
         outcomes[outcome.shard_id] = outcome
         if outcome.timings:
             # Fold a pool worker's kernel timings into the parent registry
-            # so partitioned runs report a complete timing profile.
+            # so partitioned runs report a complete timing profile (merge
+            # routes to the active session scope as well).
             TIMINGS.merge(outcome.timings)
+        if outcome.spans or outcome.metrics:
+            obs.absorb(spans=outcome.spans, metrics=outcome.metrics)
         if self._store is not None:
             self._store.save_shard_result(
                 self._run_id,
@@ -741,6 +793,16 @@ class ParallelRunner:
             )
 
     def _emit(self, event: ShardEvent) -> None:
+        obs.count(f"partition.shard.{event.kind}")
+        log.debug(
+            "shard %d %s (%s): pairs=%d loops=%d questions=%d",
+            event.shard_id,
+            event.kind,
+            event.phase,
+            event.pairs,
+            event.loops,
+            event.questions,
+        )
         if self._on_event is not None:
             self._on_event(event)
 

@@ -36,7 +36,7 @@ import threading
 import traceback
 from concurrent.futures import Future, ThreadPoolExecutor
 
-from repro.accel.runtime import TIMINGS, accel_enabled, stages_doc
+from repro.accel.runtime import accel_enabled, stages_doc
 from repro.core import Remp, RempConfig
 from repro.core.pipeline import (
     LoopCheckpoint,
@@ -46,6 +46,9 @@ from repro.core.pipeline import (
 )
 from repro.crowd import CrowdPlatform
 from repro.datasets import load_dataset
+from repro.obs import runtime as obs
+from repro.obs.artifacts import run_meta
+from repro.obs.logging import get_logger
 from repro.partition import CrowdSpec, ParallelRunner
 from repro.store import RunStore, config_hash
 from repro.store.store import RunRecord
@@ -60,6 +63,8 @@ from repro.stream import (
 )
 
 Pair = tuple[str, str]
+
+log = get_logger("service")
 
 #: Session lifecycle states (mirrors the ledger's run statuses).
 QUEUED = "queued"
@@ -105,6 +110,7 @@ class MatchingSession:
         parent_run_id: str | None = None,
         delta: KBDelta | None = None,
         stream_provider=None,
+        stream_step: int | None = None,
     ):
         self.run_id = run_id
         self.dataset = dataset
@@ -133,10 +139,15 @@ class MatchingSession:
         self._lock = threading.RLock()
         self._loop_state = None
         self._platform: CrowdPlatform | None = None
-        #: Kernel-timing snapshot taken when execution starts; the delta
-        #: is persisted at finish (attribution is best-effort when
-        #: several sessions share the process, see repro.accel.runtime).
-        self._timings_before: dict | None = None
+        #: The session's observability scope: every execution path runs
+        #: under its activation, so stage timings, spans and metrics are
+        #: attributed to exactly this run — concurrent sessions in the
+        #: same process no longer contaminate each other's profiles.
+        self._scope = obs.RunScope(run_id, stream_step=stream_step)
+        #: Itemised billed questions (loop / shard / stream-unit scoped);
+        #: persisted as the run's cost ledger, summing to the result's
+        #: ``questions_asked`` exactly.
+        self._cost_items: list[dict] = []
         self._history = []
         self._base_questions = 0
         self._billed_at_start = 0
@@ -160,26 +171,46 @@ class MatchingSession:
         return len(self._history)
 
     # ------------------------------------------------------------------
-    def _timings_start(self) -> None:
-        if self._timings_before is None:
-            self._timings_before = TIMINGS.snapshot()
-
     def _save_timings(self) -> None:
-        """Persist the kernel/stage timing delta this session produced."""
-        if self._timings_before is None:
-            return
-        delta = TIMINGS.diff(self._timings_before)
+        """Persist the kernel/stage timings this session's scope collected.
+
+        The scope's private registry holds only stages that ran under
+        this session's activations (plus shard deltas merged back from
+        its own pool workers) — exact attribution, not a diff against
+        the shared process-wide singleton.
+        """
         self._store.save_run_timings(
             self.run_id,
-            {"accel": accel_enabled(), "stages": stages_doc(delta)},
+            {
+                "accel": accel_enabled(),
+                "stages": stages_doc(self._scope.timings.snapshot()),
+            },
         )
+
+    def _save_obs(self, result: RempResult) -> None:
+        """Persist the run's observability document (trace/metrics/ledger)."""
+        record = self._store.get_run(self.run_id)
+        doc = self._scope.export()
+        if record is not None:
+            doc["meta"] = run_meta(record, accel=accel_enabled())
+        ledger = {
+            "total": sum(item["questions"] for item in self._cost_items),
+            "items": list(self._cost_items),
+        }
+        if self.stream_outcome is not None:
+            ledger["questions_new"] = self.stream_outcome.questions_new
+        if ledger["total"] != result.questions_asked:  # pragma: no cover
+            # Never expected; recorded rather than raised so a ledger
+            # accounting bug can't fail an otherwise-finished run.
+            ledger["mismatch"] = result.questions_asked - ledger["total"]
+        doc["cost_ledger"] = ledger
+        self._store.save_run_obs(self.run_id, doc)
 
     # ------------------------------------------------------------------
     def _ensure_started(self) -> None:
         """Prepare (through the cache), build the crowd, load any checkpoint."""
         if self._loop_state is not None:
             return
-        self._timings_start()
         self.status = PREPARING
         self._store.update_run_status(self.run_id, PREPARING)
         state: PreparedState = self._prepared_provider(
@@ -195,6 +226,28 @@ class MatchingSession:
             self._history = list(checkpoint.history)
             self._base_questions = checkpoint.questions_asked
             self._next_loop = checkpoint.next_loop_index
+            if self._base_questions:
+                # Loops billed before the restart are no longer itemisable
+                # per loop; one checkpoint item keeps the ledger total
+                # equal to the result's question count.
+                self._cost_items.append(
+                    {
+                        "scope": "checkpoint",
+                        "key": "resume",
+                        "questions": self._base_questions,
+                    }
+                )
+            obs.event(
+                "session.checkpoint_restored",
+                loops=self._next_loop,
+                questions=self._base_questions,
+            )
+            log.info(
+                "run %s restored from checkpoint: %d loops, %d questions",
+                self.run_id,
+                self._next_loop,
+                self._base_questions,
+            )
         self._billed_at_start = self._platform.questions_asked
         self.status = RUNNING
         self._store.update_run_status(self.run_id, RUNNING)
@@ -215,7 +268,7 @@ class MatchingSession:
                 "partitioned sessions advance whole shards, not loops; "
                 "use run()/result() instead of step()"
             )
-        with self._lock:
+        with self._lock, self._scope.activate():
             if self._result is not None or self._loop_converged:
                 return False
             self._ensure_started()
@@ -226,6 +279,7 @@ class MatchingSession:
             remaining_budget = None
             if config.budget is not None:
                 remaining_budget = config.budget - self.questions_asked
+            billed_before = self._platform.questions_asked
             record = self._remp._loop_once(
                 self._loop_state,
                 self._platform,
@@ -236,6 +290,13 @@ class MatchingSession:
             if record is None:
                 self._loop_converged = True
                 return False
+            self._cost_items.append(
+                {
+                    "scope": "loop",
+                    "key": str(self._next_loop),
+                    "questions": self._platform.questions_asked - billed_before,
+                }
+            )
             self._next_loop += 1
             self._history.append(record)
             self._store.save_checkpoint(
@@ -256,15 +317,25 @@ class MatchingSession:
             return self._run_stream()
         if self.workers is not None:
             return self._run_partitioned()
-        with self._lock:
+        with self._lock, self._scope.activate():
             if self._result is not None:
                 return self._result
             self._ensure_started()
             state = self._loop_state.state
             self._loop_state.propagate(state.kb1, state.kb2)
+            billed_before = self._platform.questions_asked
             isolated_matches, _ = self._remp._classify_isolated(
                 state, self._loop_state, self._platform
             )
+            isolated_billed = self._platform.questions_asked - billed_before
+            if isolated_billed:
+                self._cost_items.append(
+                    {
+                        "scope": "isolated",
+                        "key": "classifier",
+                        "questions": isolated_billed,
+                    }
+                )
             result = assemble_result(
                 self._loop_state,
                 isolated_matches,
@@ -275,6 +346,14 @@ class MatchingSession:
             self.status = DONE
             self._store.finish_run(self.run_id, result)
             self._save_timings()
+            self._save_obs(result)
+            log.info(
+                "run %s done: %d matches, %d questions, %d loops",
+                self.run_id,
+                len(result.matches),
+                result.questions_asked,
+                result.num_loops,
+            )
             return result
 
     def run(self) -> RempResult:
@@ -292,6 +371,7 @@ class MatchingSession:
                 self.status = FAILED
                 self.error = f"{type(exc).__name__}: {exc}"
                 self._store.fail_run(self.run_id, traceback.format_exc())
+            log.error("run %s failed: %s", self.run_id, self.error)
             raise
 
     def _run_partitioned(self) -> RempResult:
@@ -307,10 +387,9 @@ class MatchingSession:
         concurrent ``result()``/``finalize()`` callers wait for the one
         execution instead of fanning out a second pool.
         """
-        with self._lock:
+        with self._lock, self._scope.activate():
             if self._result is not None:
                 return self._result
-            self._timings_start()
             self.status = PREPARING
             self._store.update_run_status(self.run_id, PREPARING)
             state: PreparedState = self._prepared_provider(
@@ -332,10 +411,21 @@ class MatchingSession:
             self.status = RUNNING
             self._store.update_run_status(self.run_id, RUNNING)
             result = runner.run(state, crowd)
+            # Shard billing is additive over disjoint pair sets, so the
+            # per-shard items sum to the merged question count exactly.
+            self._cost_items.extend(runner.shard_costs)
             self._result = result
             self.status = DONE
             self._store.finish_run(self.run_id, result)
             self._save_timings()
+            self._save_obs(result)
+            log.info(
+                "run %s done (partitioned, workers=%d): %d matches, %d questions",
+                self.run_id,
+                self.workers,
+                len(result.matches),
+                result.questions_asked,
+            )
             return result
 
     def _run_stream(self) -> RempResult:
@@ -348,10 +438,9 @@ class MatchingSession:
         without re-asking a question.  Unit records persist past
         ``finish_run``: they are what the *next* update reuses.
         """
-        with self._lock:
+        with self._lock, self._scope.activate():
             if self._result is not None:
                 return self._result
-            self._timings_start()
             self.status = PREPARING
             self._store.update_run_status(self.run_id, PREPARING)
             state, dirty, reuse, truth = self._stream_provider(self)
@@ -378,10 +467,31 @@ class MatchingSession:
                 },
             )
             self.stream_outcome = outcome
+            # Unit records cover every shard of the run (reused ones bill
+            # their recorded, i.e. logical, question count), so the items
+            # sum to the merged result's questions_asked.
+            self._cost_items.extend(
+                {
+                    "scope": "stream_unit",
+                    "key": key,
+                    "kind": record.kind,
+                    "questions": record.result.questions_asked,
+                    "reused": key in outcome.reused_keys,
+                }
+                for key, record in sorted(outcome.records.items())
+            )
             self._result = outcome.result
             self.status = DONE
             self._store.finish_run(self.run_id, outcome.result)
             self._save_timings()
+            self._save_obs(outcome.result)
+            log.info(
+                "run %s done (stream): %d units, %d reused, %d new questions",
+                self.run_id,
+                len(outcome.records),
+                len(outcome.reused_keys),
+                outcome.questions_new,
+            )
             return self._result
 
     def result(self) -> RempResult | None:
@@ -461,6 +571,7 @@ class MatchingService:
             state = self._memory_cache.get(key)
             if state is not None:
                 self.cache_hits += 1
+                obs.count("prepared.cache.hits")
                 return state
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
@@ -468,12 +579,14 @@ class MatchingService:
                 state = self._memory_cache.get(key)
                 if state is not None:
                     self.cache_hits += 1
+                    obs.count("prepared.cache.hits")
                     return state
             state = self._store.load_prepared(dataset, seed, scale, config)
             if state is not None:
                 with self._lock:
                     self.cache_hits += 1
                     self._memory_cache[key] = state
+                obs.count("prepared.cache.hits")
                 return state
             bundle = load_dataset(dataset, seed=seed, scale=scale)
             state = Remp(config or RempConfig(), seed=seed).prepare(
@@ -483,6 +596,8 @@ class MatchingService:
             with self._lock:
                 self.cache_misses += 1
                 self._memory_cache[key] = state
+            obs.count("prepared.cache.misses")
+            log.info("prepared state computed for %s", key)
             return state
 
     # ------------------------------------------------------------------
@@ -541,6 +656,16 @@ class MatchingService:
             on_event=on_event,
             stream=stream,
             stream_provider=self._stream_inputs,
+            stream_step=0 if stream else None,
+        )
+        log.info(
+            "submit run %s: dataset=%s seed=%d scale=%s workers=%s stream=%s",
+            run_id,
+            dataset,
+            seed,
+            scale,
+            workers,
+            stream,
         )
         with self._lock:
             self._sessions[run_id] = session
@@ -626,6 +751,13 @@ class MatchingService:
             parent_run_id=run_id,
             delta=delta,
             stream_provider=self._stream_inputs,
+            stream_step=(record.stream_step or 0) + 1,
+        )
+        log.info(
+            "update run %s -> %s (stream step %d)",
+            run_id,
+            new_run_id,
+            (record.stream_step or 0) + 1,
         )
         with self._lock:
             self._sessions[new_run_id] = session
@@ -689,7 +821,9 @@ class MatchingService:
             stream=record.streaming,
             parent_run_id=record.parent_run_id,
             stream_provider=self._stream_inputs,
+            stream_step=record.stream_step,
         )
+        log.info("resume run %s (status was %s)", run_id, record.status)
         with self._lock:
             self._sessions[run_id] = session
             if background:

@@ -99,6 +99,11 @@ CREATE TABLE IF NOT EXISTS run_timings (
     payload    TEXT NOT NULL,
     updated_at TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS run_obs (
+    run_id     TEXT PRIMARY KEY,
+    payload    TEXT NOT NULL,
+    updated_at TEXT NOT NULL
+);
 """
 
 #: Columns added after the v1 schema.  New databases get them through
@@ -622,6 +627,34 @@ class RunStore:
         return None if row is None else json.loads(row["payload"])
 
     # ------------------------------------------------------------------
+    # Observability documents (repro.obs): trace + metrics + cost ledger
+    # ------------------------------------------------------------------
+    def save_run_obs(self, run_id: str, doc: dict) -> None:
+        """Persist a run's observability document (JSON).
+
+        The document carries the run scope's export — ``trace`` (span
+        list), ``metrics`` (counters/gauges), ``timings`` — plus the
+        ``meta`` and ``cost_ledger`` sections the artifact exporter
+        materialises into ``runs/<run_id>/``.
+        """
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO run_obs (run_id, payload, updated_at)"
+                " VALUES (?, ?, ?)"
+                " ON CONFLICT(run_id) DO UPDATE SET"
+                " payload = excluded.payload, updated_at = excluded.updated_at",
+                (run_id, json.dumps(doc, sort_keys=True), _now()),
+            )
+
+    def load_run_obs(self, run_id: str) -> dict | None:
+        """The observability document saved for a run, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM run_obs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return None if row is None else json.loads(row["payload"])
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Row counts for ``repro cache info`` and diagnostics."""
         with self._lock:
@@ -643,6 +676,9 @@ class RunStore:
             stream_units = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM stream_units"
             ).fetchone()["n"]
+            run_obs = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM run_obs"
+            ).fetchone()["n"]
         return {
             "path": self.path,
             "prepared_states": prepared,
@@ -651,6 +687,7 @@ class RunStore:
             "checkpoints": checkpoints,
             "shard_checkpoints": shard_checkpoints,
             "stream_units": stream_units,
+            "run_obs": run_obs,
         }
 
 

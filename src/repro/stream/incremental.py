@@ -36,6 +36,8 @@ from dataclasses import dataclass
 
 from repro.accel.runtime import TIMINGS
 from repro.core.attributes import match_attributes
+from repro.obs import runtime as obs
+from repro.obs.logging import get_logger
 from repro.core.candidates import CandidateSet, _token_index
 from repro.core.config import RempConfig
 from repro.core.er_graph import INVERSE_PREFIX, ERGraph
@@ -47,6 +49,8 @@ from repro.kb.model import KnowledgeBase
 from repro.stream.delta import KBDelta, kb_pair_fingerprint
 
 Pair = tuple[str, str]
+
+log = get_logger("stream.incremental")
 
 
 @dataclass(slots=True)
@@ -297,6 +301,8 @@ def incremental_prepare(
     if attribute_matches != state.attribute_matches:
         # Every vector component shifts when the attribute alignment
         # does; nothing downstream of the candidate set survives.
+        obs.count("stream.prepare.full_fallbacks")
+        log.info("attribute alignment changed; falling back to full prepare")
         full = Remp(config).prepare(kb1, kb2)
         return IncrementalPrepared(
             state=full, changed=None, fingerprint=fingerprint, fell_back=True
@@ -383,8 +389,15 @@ def incremental_prepare(
         priors=priors,
         isolated=graph.isolated_vertices(),
     )
+    changed = closure | group_changed
+    obs.count("stream.prepare.dirty_pairs", len(changed))
+    log.info(
+        "incremental prepare: %d dirty pairs of %d retained",
+        len(changed),
+        len(retained),
+    )
     return IncrementalPrepared(
         state=new_state,
-        changed=closure | group_changed,
+        changed=changed,
         fingerprint=fingerprint,
     )

@@ -29,11 +29,15 @@ from dataclasses import dataclass, field
 
 from repro.core.config import RempConfig
 from repro.core.pipeline import PreparedState, RempResult
+from repro.obs import runtime as obs
+from repro.obs.logging import get_logger
 from repro.partition.partitioner import PartitionPlan, partition_state
 from repro.partition.runner import CrowdSpec, ParallelRunner, UnitRecord
 from repro.store.serialize import result_from_doc, result_to_doc
 
 Pair = tuple[str, str]
+
+log = get_logger("stream")
 
 
 def unit_record_to_doc(record: UnitRecord) -> dict:
@@ -183,6 +187,20 @@ class StreamRunner:
             fresh |= _log_questions(records[key].answer_log)
         questions_new = len(fresh - inherited)
 
+        obs.count("stream.units.reused", len(reused_keys))
+        obs.count("stream.units.executed", len(executed_keys))
+        obs.count("stream.questions.new", questions_new)
+        if records:
+            obs.gauge(
+                "stream.unit_reuse_rate", round(len(reused_keys) / len(records), 6)
+            )
+        log.info(
+            "stream run: %d units (%d reused, %d executed), %d new questions",
+            len(records),
+            len(reused_keys),
+            len(executed_keys),
+            questions_new,
+        )
         return StreamOutcome(
             result=result,
             records=records,

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.store import RunStore
 
 
 def test_datasets_command(capsys):
@@ -133,6 +134,76 @@ class TestStoreCommands:
 
     def test_runs_show_unknown_run(self, store_path, capsys):
         assert main(["runs", "show", "nope", "--store", store_path]) == 1
+
+    def _submit_run(self, store_path, capsys, *extra):
+        main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",
+              "--store", store_path, *extra])
+        out = capsys.readouterr().out
+        return out.split("run=")[1].split()[0]
+
+    def test_runs_show_totals_kernel_timings(self, store_path, capsys):
+        run_id = self._submit_run(store_path, capsys)
+        assert main(["runs", "show", run_id, "--store", store_path]) == 0
+        detail = capsys.readouterr().out
+        assert "kernel timings (seconds x calls):" in detail
+        lines = detail.splitlines()
+        start = lines.index("kernel timings (seconds x calls):") + 1
+        stage_lines = []
+        for line in lines[start:]:
+            if "total (wall-clock)" in line or not line.startswith("  "):
+                break
+            stage_lines.append(line)
+        seconds = [float(line.split()[-2].rstrip("s")) for line in stage_lines]
+        assert seconds == sorted(seconds, reverse=True)
+        total_line = next(line for line in lines if "total (wall-clock)" in line)
+        total = float(total_line.split()[-1].rstrip("s"))
+        assert total == pytest.approx(sum(seconds), abs=2e-3)
+
+    def test_runs_trace_prints_jsonl(self, store_path, capsys):
+        run_id = self._submit_run(store_path, capsys)
+        assert main(["runs", "trace", run_id, "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        spans = [json.loads(line) for line in out.splitlines()]
+        assert spans
+        assert all(span["run_id"] == run_id for span in spans)
+        assert "loop.iteration" in {span["name"] for span in spans}
+
+    def test_runs_trace_without_trace_is_clean_error(self, store_path, capsys):
+        run_id = self._submit_run(store_path, capsys)
+        with RunStore(store_path) as store:
+            doc = store.load_run_obs(run_id)
+            doc["trace"] = []
+            store.save_run_obs(run_id, doc)
+        assert main(["runs", "trace", run_id, "--store", store_path]) == 1
+        assert "no trace recorded" in capsys.readouterr().err
+        assert main(["runs", "trace", "nope", "--store", store_path]) == 1
+
+    def test_runs_metrics_reports_ledger(self, store_path, capsys):
+        run_id = self._submit_run(store_path, capsys)
+        assert main(["runs", "metrics", run_id, "--store", store_path]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        ledger = doc["cost_ledger"]
+        assert ledger["total"] == sum(i["questions"] for i in ledger["items"])
+        with RunStore(store_path) as store:
+            record = store.get_run(run_id)
+        assert ledger["total"] == record.questions_asked
+        assert doc["metrics"]["counters"]["loop.iterations"] >= 1
+
+    def test_runs_export_artifacts(self, store_path, capsys, tmp_path):
+        run_id = self._submit_run(store_path, capsys, "--workers", "2")
+        out_root = tmp_path / "artifacts"
+        assert main(["runs", "export-artifacts", run_id,
+                     "--output", str(out_root), "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "wrote run artifacts to" in out
+        dest = out_root / run_id
+        for name in ("meta.json", "trace.jsonl", "metrics.json",
+                     "cost_ledger.json", "result.json"):
+            assert (dest / name).is_file()
+        meta = json.loads((dest / "meta.json").read_text())
+        assert meta["run_id"] == run_id
+        assert main(["runs", "export-artifacts", "nope",
+                     "--store", store_path]) == 1
 
     def test_cache_info_and_clear(self, store_path, capsys):
         main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",

@@ -377,8 +377,19 @@ class TestProgressPrinter:
             printer(event)
         printer.close()
         lines = stream.getvalue().splitlines()
-        assert len(lines) == len(events)
+        # One line per event, plus the final summary close() appends.
+        assert len(lines) == len(events) + 1
         assert any("finished" in line for line in lines)
+        total = len({e.shard_id for e in events})
+        assert lines[-1] == printer.render()
+        assert f"partitions {total}/{total} done" in lines[-1]
+
+    def test_plain_stream_close_is_idempotent_and_quiet_when_empty(self):
+        stream = io.StringIO()
+        printer = ShardProgressPrinter(stream, live=False)
+        printer.close()
+        printer.close()
+        assert stream.getvalue() == ""
 
     def test_live_stream_rewrites_one_line(self, state, crowd):
         events = self._events(state, crowd)

@@ -217,3 +217,33 @@ class TestStreamSessions:
             )
             service.result(second)
             assert service.store.get_run(second).workers == 1
+
+
+class TestTimingIsolation:
+    def test_concurrent_timings_do_not_contaminate_run(self, tmp_path):
+        """Another session's kernel timings never leak into a run's doc.
+
+        Before run-scoped timing, ``TIMINGS`` was snapshot/diffed around
+        the run, so any concurrent session writing to the global registry
+        contaminated the persisted per-run stages.
+        """
+        from repro.accel.runtime import TIMINGS
+
+        stop = threading.Event()
+
+        def poison():
+            while not stop.is_set():
+                TIMINGS.add("poison.stage", 1.0)
+
+        thread = threading.Thread(target=poison, daemon=True)
+        thread.start()
+        try:
+            with MatchingService(RunStore(tmp_path / "store.db")) as service:
+                run_id = service.submit("iimb", scale=0.2, background=False)
+                service.result(run_id)
+                stages = service.store.load_run_timings(run_id)["stages"]
+        finally:
+            stop.set()
+            thread.join()
+        assert "poison.stage" not in stages
+        assert stages, "real stages should still be attributed"
