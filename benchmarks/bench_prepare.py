@@ -25,7 +25,10 @@ Scale knobs (environment):
 
 Every run appends machine-readable per-stage timings to
 ``BENCH_prepare.json`` (the perf trajectory artifact CI uploads), so
-future PRs can compare stage-level profiles across commits.
+future PRs can compare stage-level profiles across commits, and mirrors
+each sample into the unified ``BENCH_history.jsonl`` trajectory
+(:func:`repro.obs.append_bench_history`) that ``repro bench compare``
+diffs across CI runs.
 """
 
 import json
@@ -39,6 +42,7 @@ from repro.accel.runtime import TIMINGS, force_accel
 from repro.core import Remp
 from repro.crowd import CrowdPlatform
 from repro.datasets import clustered_bundle
+from repro.obs import append_bench_history
 from repro.store.serialize import prepared_state_to_doc
 from repro.text import normalize
 
@@ -109,6 +113,18 @@ def _append_trajectory(entry: dict) -> None:
             trajectory = []
     trajectory.append(entry)
     TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=1, sort_keys=True))
+
+    # Mirror into the unified cross-bench trajectory the regression
+    # sentinel (``repro bench compare``) reads.
+    stages = {
+        f"{entry['bench']}.accel": entry["accel_seconds"],
+        f"{entry['bench']}.fallback": entry["fallback_seconds"],
+    }
+    for prefix, key in (("accel", "stages_accel"), ("fallback", "stages_fallback")):
+        for name, doc in entry.get(key, {}).items():
+            stages[f"{prefix}.{name}"] = doc
+    meta = {k: v for k, v in entry.items() if not k.startswith("stages")}
+    append_bench_history(entry["bench"], meta=meta, stages=stages)
 
 
 def _scales() -> list[int]:

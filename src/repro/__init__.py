@@ -33,7 +33,7 @@ from repro.service import MatchingService
 from repro.store import RunStore
 from repro.stream import KBDelta
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Remp",

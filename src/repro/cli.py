@@ -26,8 +26,16 @@ Commands
     Run several datasets concurrently through the matching service.
 ``runs``
     Query the run ledger (``runs list`` / ``runs show RUN_ID``), dump a
-    run's observability data (``runs trace`` / ``runs metrics``) or
-    materialise its artifact directory (``runs export-artifacts``).
+    run's observability data (``runs trace`` / ``runs metrics``),
+    materialise its artifact directory (``runs export-artifacts``) or
+    follow an in-flight run live from another process (``runs watch``).
+``top``
+    One line per in-flight run across the store — the live counterpart
+    of ``runs list``.
+``bench``
+    Cross-run perf tooling: ``bench compare BASELINE CURRENT`` diffs
+    per-stage timings between two artifacts and flags slowdowns beyond
+    a noise-modelled threshold (the CI regression sentinel).
 ``cache``
     Inspect or clear the prepared-state cache (``cache info`` / ``clear``).
 ``experiment``
@@ -42,6 +50,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.core import Remp, RempConfig
@@ -81,9 +90,16 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _apply_accel_flag(args: argparse.Namespace) -> None:
-    """``--no-accel`` drops to the pure-Python reference kernels."""
+    """``--no-accel`` drops to the pure-Python reference kernels.
+
+    ``--profile`` turns on the sampling wall-clock profiler the same
+    way — through the environment, so shard worker processes inherit it
+    and the run's artifact directory gains ``profile.folded``.
+    """
     if getattr(args, "no_accel", False):
         os.environ["REPRO_NO_ACCEL"] = "1"
+    if getattr(args, "profile", False):
+        os.environ["REPRO_PROFILE"] = "1"
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -418,14 +434,28 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         if record is None:
             print(f"unknown run {args.run_id!r}", file=sys.stderr)
             return 1
+        if args.runs_command == "watch":
+            return _watch_run(store, args)
         if args.runs_command == "trace":
+            from repro.obs.export import chrome_trace, filter_spans
+
             doc = store.load_run_obs(args.run_id) or {}
             spans = doc.get("trace", [])
             if not spans:
                 print(f"no trace recorded for run {args.run_id!r}", file=sys.stderr)
                 return 1
-            for span in spans:
-                print(json.dumps(span, sort_keys=True))
+            spans = filter_spans(spans, name=args.span, shard_id=args.shard)
+            if not spans:
+                print(
+                    f"no spans match the filter for run {args.run_id!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.chrome:
+                print(json.dumps(chrome_trace(spans), sort_keys=True))
+            else:
+                for span in spans:
+                    print(json.dumps(span, sort_keys=True))
             if doc.get("trace_dropped"):
                 print(
                     f"({doc['trace_dropped']} span(s) dropped at the buffer cap)",
@@ -434,14 +464,36 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             return 0
         if args.runs_command == "metrics":
             doc = store.load_run_obs(args.run_id) or {}
+            metrics = doc.get("metrics") or {"counters": {}, "gauges": {}}
+            if args.prometheus:
+                from repro.obs.export import prometheus_text
+
+                timings = store.load_run_timings(args.run_id) or {}
+                sys.stdout.write(
+                    prometheus_text(
+                        metrics,
+                        labels={
+                            "run_id": args.run_id,
+                            "dataset": record.dataset,
+                        },
+                        timings=timings.get("stages"),
+                    )
+                )
+                return 0
             out = {
-                "metrics": doc.get("metrics") or {"counters": {}, "gauges": {}},
+                "metrics": metrics,
                 "cost_ledger": doc.get("cost_ledger"),
             }
             print(json.dumps(out, indent=1, sort_keys=True))
             return 0
         if args.runs_command == "export-artifacts":
-            dest = export_run_artifacts(store, args.run_id, root=args.output)
+            try:
+                dest = export_run_artifacts(
+                    store, args.run_id, root=args.output, force=args.force
+                )
+            except FileExistsError as exc:
+                print(f"export-artifacts: {exc}", file=sys.stderr)
+                return 1
             print(f"wrote run artifacts to {dest}")
             return 0
         # runs show
@@ -493,6 +545,92 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         if record.error:
             print(f"error:\n{record.error}")
     return 0
+
+
+def _watch_run(store: RunStore, args: argparse.Namespace) -> int:
+    """``runs watch RUN_ID``: tail the live event stream of one run.
+
+    Polls the ``run_events`` table (the telemetry bus's durable half) by
+    sequence number, so it works from a *different process* than the one
+    executing the run.  On a TTY the multi-line frame redraws in place;
+    on a pipe each changed frame prints once.  Exits when the run
+    reaches a terminal status (or after ``--for`` seconds).
+    """
+    from repro.obs.live import RunWatch
+
+    watch = RunWatch()
+    stream = sys.stdout
+    live = bool(getattr(stream, "isatty", lambda: False)())
+    deadline = None if args.duration is None else time.monotonic() + args.duration
+    frame_lines = 0
+    while True:
+        record = store.get_run(args.run_id)
+        if record is None:
+            print(f"unknown run {args.run_id!r}", file=sys.stderr)
+            return 1
+        changed = watch.feed(store.tail_run_events(args.run_id, watch.last_seq))
+        finished = record.finished
+        timings = None
+        if finished:
+            doc = store.load_run_timings(args.run_id)
+            timings = doc.get("stages") if doc else None
+        frame = watch.render(record, timings)
+        if live:
+            if frame_lines:
+                # Redraw in place: up over the previous frame, clear down.
+                stream.write(f"\x1b[{frame_lines}A\x1b[J")
+            stream.write(frame + "\n")
+            frame_lines = frame.count("\n") + 1
+        elif changed or finished or not frame_lines:
+            stream.write(frame + "\n")
+            frame_lines = 1
+        stream.flush()
+        if finished or args.once:
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            return 0
+        time.sleep(args.interval)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: every in-flight run of the store, one line each."""
+    from repro.obs.live import render_top
+
+    deadline = None if args.duration is None else time.monotonic() + args.duration
+    with RunStore(_store_path(args)) as store:
+        while True:
+            rows = [
+                (record, store.last_run_event(record.run_id))
+                for record in store.active_runs()
+            ]
+            print(render_top(rows))
+            if not args.watch:
+                return 0
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(args.interval)
+            print()
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``bench compare``: the cross-run regression sentinel."""
+    from repro.obs import sentinel
+
+    try:
+        baseline = sentinel.load_snapshot(args.baseline)
+        current = sentinel.load_snapshot(args.current)
+    except (FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    findings = sentinel.compare(
+        baseline,
+        current,
+        max_slowdown=args.max_slowdown,
+        min_seconds=args.min_seconds,
+        z=args.z,
+    )
+    print(sentinel.render_report(baseline, current, findings))
+    return 1 if sentinel.flagged(findings) else 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -609,6 +747,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the vectorized/incremental kernels (repro.accel);"
         " results are byte-identical, only slower",
     )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="sample wall-clock stacks during the run (REPRO_PROFILE=1);"
+        " with --store the folded stacks land in the run's artifacts",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_update = sub.add_parser(
@@ -669,23 +812,109 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="dump a run's trace spans as JSONL"
     )
     p_runs_trace.add_argument("run_id")
+    p_runs_trace.add_argument(
+        "--span", default=None, metavar="NAME",
+        help="only spans whose name contains NAME",
+    )
+    p_runs_trace.add_argument(
+        "--shard", type=int, default=None, metavar="ID",
+        help="only spans correlated to this shard id",
+    )
+    p_runs_trace.add_argument(
+        "--chrome", action="store_true",
+        help="emit Chrome trace_event JSON (loads in Perfetto) instead of JSONL",
+    )
     p_runs_trace.add_argument("--store", default=argparse.SUPPRESS)
     p_runs_metrics = runs_sub.add_parser(
         "metrics", help="print a run's metrics and cost ledger as JSON"
     )
     p_runs_metrics.add_argument("run_id")
+    p_runs_metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the Prometheus text exposition format instead of JSON",
+    )
     p_runs_metrics.add_argument("--store", default=argparse.SUPPRESS)
+    p_runs_watch = runs_sub.add_parser(
+        "watch", help="follow an in-flight run live (tails the event stream)"
+    )
+    p_runs_watch.add_argument("run_id")
+    p_runs_watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="poll interval in seconds (default: 0.5)",
+    )
+    p_runs_watch.add_argument(
+        "--for", type=float, default=None, metavar="S", dest="duration",
+        help="stop watching after S seconds even if the run is still going",
+    )
+    p_runs_watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (snapshot mode)",
+    )
+    p_runs_watch.add_argument("--store", default=argparse.SUPPRESS)
     p_runs_export = runs_sub.add_parser(
         "export-artifacts",
         help="materialise runs/<run_id>/ (meta, trace, metrics, ledger, result)",
     )
     p_runs_export.add_argument("run_id")
     p_runs_export.add_argument(
-        "--output", default="runs", metavar="DIR",
+        "--output", "--out", default="runs", metavar="DIR",
         help="artifact root directory (default: runs/)",
+    )
+    p_runs_export.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing runs/<run_id>/ export",
     )
     p_runs_export.add_argument("--store", default=argparse.SUPPRESS)
     p_runs.set_defaults(func=_cmd_runs)
+
+    p_top = sub.add_parser(
+        "top", help="show every in-flight run of the store (live counterpart"
+        " of 'runs list')"
+    )
+    p_top.add_argument("--store", default=None)
+    p_top.add_argument(
+        "--watch", action="store_true",
+        help="refresh repeatedly instead of printing one snapshot",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh interval for --watch (default: 1.0)",
+    )
+    p_top.add_argument(
+        "--for", type=float, default=None, metavar="S", dest="duration",
+        help="stop after S seconds (with --watch)",
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_bench = sub.add_parser(
+        "bench", help="cross-run benchmark tooling (regression sentinel)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff per-stage timings between two artifacts; exit 1 on a"
+        " flagged regression",
+    )
+    p_bench_compare.add_argument(
+        "baseline",
+        help="baseline artifact: a runs/<id>/ dir, BENCH_history.jsonl, or"
+        " BENCH_*.json",
+    )
+    p_bench_compare.add_argument("current", help="current artifact (same shapes)")
+    p_bench_compare.add_argument(
+        "--max-slowdown", type=float, default=0.5, metavar="FRAC",
+        help="minimum tolerated slowdown fraction before flagging (default 0.5)",
+    )
+    p_bench_compare.add_argument(
+        "--min-seconds", type=float, default=0.05, metavar="S",
+        help="ignore stages faster than S seconds on either side (default 0.05)",
+    )
+    p_bench_compare.add_argument(
+        "--z", type=float, default=3.0,
+        help="noise multiplier: allowance grows to z x the baseline's"
+        " coefficient of variation (default 3.0)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the prepared-state cache")
     p_cache.add_argument("--store", default=None)
@@ -714,18 +943,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    # --no-accel works by setting REPRO_NO_ACCEL (checked at kernel call
-    # sites, including in worker processes); restore the prior value so
-    # embedding callers can invoke main() repeatedly without one
-    # command's flag leaking into the next.
-    previous = os.environ.get("REPRO_NO_ACCEL")
+    # --no-accel / --profile work by setting REPRO_NO_ACCEL /
+    # REPRO_PROFILE (checked at call sites, including in worker
+    # processes); restore the prior values so embedding callers can
+    # invoke main() repeatedly without one command's flag leaking into
+    # the next.
+    previous = {
+        name: os.environ.get(name) for name in ("REPRO_NO_ACCEL", "REPRO_PROFILE")
+    }
     try:
         return args.func(args)
     finally:
-        if previous is None:
-            os.environ.pop("REPRO_NO_ACCEL", None)
-        else:
-            os.environ["REPRO_NO_ACCEL"] = previous
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

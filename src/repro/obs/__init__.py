@@ -32,14 +32,32 @@ _EXPORTS = {
     "fallback_cost_ledger": "repro.obs.artifacts",
     "run_meta": "repro.obs.artifacts",
     "current_scope": "repro.obs.context",
+    "append_bench_history": "repro.obs.export",
+    "chrome_trace": "repro.obs.export",
+    "filter_spans": "repro.obs.export",
+    "load_bench_history": "repro.obs.export",
+    "prometheus_text": "repro.obs.export",
+    "validate_chrome_trace": "repro.obs.export",
+    "BUS": "repro.obs.live",
+    "RunWatch": "repro.obs.live",
+    "StoreEventWriter": "repro.obs.live",
+    "TelemetryBus": "repro.obs.live",
+    "render_top": "repro.obs.live",
     "get_logger": "repro.obs.logging",
     "MetricsRegistry": "repro.obs.metrics",
+    "SamplingProfiler": "repro.obs.profile",
+    "folded_text": "repro.obs.profile",
+    "profiling_enabled": "repro.obs.profile",
     "RunScope": "repro.obs.runtime",
     "absorb": "repro.obs.runtime",
     "count": "repro.obs.runtime",
     "event": "repro.obs.runtime",
     "gauge": "repro.obs.runtime",
+    "publish": "repro.obs.runtime",
     "span": "repro.obs.runtime",
+    "compare": "repro.obs.sentinel",
+    "load_snapshot": "repro.obs.sentinel",
+    "render_report": "repro.obs.sentinel",
     "Tracer": "repro.obs.trace",
     "tracing_enabled": "repro.obs.trace",
 }

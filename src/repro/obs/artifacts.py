@@ -16,6 +16,9 @@ CI and serving front ends all read the same shape:
     ``questions_asked``.
 ``result.json``
     The final :class:`~repro.core.RempResult` document.
+``profile.folded``
+    Optional: folded-stack wall-clock samples (flamegraph input), only
+    for runs executed with profiling on (``REPRO_PROFILE=1``).
 
 Benchmarks reuse the metrics shape through
 :func:`benchmark_metrics_doc` (``BENCH_obs.json``), and the CLI verbs
@@ -97,12 +100,17 @@ def _dump(path: Path, doc) -> None:
     path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
 
 
-def export_run_artifacts(store, run_id: str, root: str | Path = "runs") -> Path:
+def export_run_artifacts(
+    store, run_id: str, root: str | Path = "runs", *, force: bool = False
+) -> Path:
     """Materialise ``<root>/<run_id>/`` from the store; returns the dir.
 
     ``store`` is a :class:`repro.store.RunStore` (or anything exposing
     ``get_run`` / ``load_run_obs`` / ``load_run_timings`` /
-    ``get_result``).  Raises :class:`KeyError` for an unknown run.
+    ``get_result``).  Raises :class:`KeyError` for an unknown run, and
+    :class:`FileExistsError` when the destination already exists unless
+    ``force`` — a previous export (possibly of a *different* store's
+    run under the same id) is never silently overwritten.
     """
     record = store.get_run(run_id)
     if record is None:
@@ -111,6 +119,10 @@ def export_run_artifacts(store, run_id: str, root: str | Path = "runs") -> Path:
     timings = store.load_run_timings(run_id)
 
     dest = Path(root) / run_id
+    if dest.exists() and any(dest.iterdir()) and not force:
+        raise FileExistsError(
+            f"{dest} already exists; pass force=True (--force) to overwrite"
+        )
     dest.mkdir(parents=True, exist_ok=True)
 
     meta = obs_doc.get("meta") or run_meta(
@@ -131,6 +143,12 @@ def export_run_artifacts(store, run_id: str, root: str | Path = "runs") -> Path:
     result = store.get_result(run_id)
     if result is not None:
         _dump(dest / "result.json", result_to_doc(result))
+
+    profile = obs_doc.get("profile")
+    if profile and profile.get("stacks"):
+        from repro.obs.profile import folded_text
+
+        (dest / "profile.folded").write_text(folded_text(profile))
     return dest
 
 

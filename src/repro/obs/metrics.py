@@ -40,15 +40,26 @@ class MetricsRegistry:
     def merge(self, doc: "MetricsRegistry | dict") -> None:
         """Fold another registry (or its document) into this one.
 
-        Counters add; gauges last-write-wins — the same semantics a
-        single registry would have seen had the work run in-process.
+        Counters add; gauges take the element-wise **maximum**.  Direct
+        :meth:`gauge` writes stay last-write-wins (a session observing
+        its own signal over time), but merges absorb *sibling* scopes —
+        shard workers whose absorption order depends on pool scheduling
+        — so the combining operator must be commutative and associative
+        for the merged document to be order-independent.  Max is, and it
+        matches what the gauges mean (high-water marks: shard counts,
+        loop indexes, reuse rates of the final layout).  Pinned by
+        ``tests/test_obs.py`` with a hypothesis property.
         """
         if isinstance(doc, MetricsRegistry):
             doc = doc.as_doc()
         with self._lock:
             for name, value in doc.get("counters", {}).items():
                 self._counters[name] = self._counters.get(name, 0) + value
-            self._gauges.update(doc.get("gauges", {}))
+            for name, value in doc.get("gauges", {}).items():
+                if name in self._gauges:
+                    self._gauges[name] = max(self._gauges[name], value)
+                else:
+                    self._gauges[name] = value
 
     def as_doc(self) -> dict:
         """JSON-able snapshot: ``{"counters": {...}, "gauges": {...}}``."""

@@ -1,0 +1,167 @@
+"""Sampling wall-clock profiler: folded-stack flamegraphs per run.
+
+A :class:`SamplingProfiler` is a daemon thread that periodically grabs
+the target thread's Python stack via ``sys._current_frames()`` and
+accumulates *folded stacks* — ``root;child;leaf`` frame paths mapped to
+sample counts, the input format of every flamegraph renderer
+(Brendan Gregg's ``flamegraph.pl``, speedscope, inferno).
+
+Activation is per :class:`~repro.obs.runtime.RunScope`: when profiling
+is enabled (``REPRO_PROFILE=1`` or an explicit ``profile=True``), each
+``scope.activate()`` samples the activating thread for the duration of
+the activation, and samples accumulate across activations (a service
+session activates once per step).  Shard pool workers run their own
+scope; their folded stacks ship back with the shard outcome and the
+parent absorbs them, so a partitioned run's profile covers the workers
+too.
+
+Sampling is read-only observation of foreign frames — it cannot alter
+control flow, so profiled runs stay byte-identical (same contract as
+tracing).  Overhead at the default 5 ms interval is bounded by the
+bench_obs self-gating bar (≤ 5%).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import Counter
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Default seconds between samples (``REPRO_PROFILE_INTERVAL`` overrides).
+DEFAULT_INTERVAL = 0.005
+
+#: Frames from these runtime modules carry no signal — drop them from
+#: the leaf end so flamegraphs show pipeline code, not the profiler.
+_SKIP_MODULES = ("repro.obs.profile",)
+
+
+def profiling_enabled() -> bool:
+    """Whether the ``REPRO_PROFILE`` environment gate is on."""
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() in _TRUTHY
+
+
+def profile_interval() -> float:
+    """Sampling interval in seconds (``REPRO_PROFILE_INTERVAL`` gate)."""
+    raw = os.environ.get("REPRO_PROFILE_INTERVAL", "").strip()
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    return value if value > 0 else DEFAULT_INTERVAL
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return f"{module}.{qualname}"
+
+
+def fold_stack(frame) -> str | None:
+    """Render one captured frame chain as a root-first folded stack."""
+    labels = []
+    while frame is not None:
+        label = _frame_label(frame)
+        if not label.startswith(_SKIP_MODULES):
+            labels.append(label)
+        frame = frame.f_back
+    if not labels:
+        return None
+    labels.reverse()
+    return ";".join(labels)
+
+
+class SamplingProfiler:
+    """Periodically sample one thread's stack into folded-stack counts."""
+
+    def __init__(self, interval: float | None = None):
+        self.interval = interval if interval is not None else profile_interval()
+        self.stacks: Counter[str] = Counter()
+        self.samples = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._target_ident: int | None = None
+
+    # ------------------------------------------------------------------
+    def start(self, target_ident: int | None = None) -> None:
+        """Begin sampling the target thread (default: the caller)."""
+        if self._thread is not None:
+            return
+        self._target_ident = (
+            target_ident if target_ident is not None else threading.get_ident()
+        )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling; accumulated stacks survive for the next start."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=2.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is None:
+                continue
+            folded = fold_stack(frame)
+            if folded is None:
+                continue
+            with self._lock:
+                self.stacks[folded] += 1
+                self.samples += 1
+
+    # ------------------------------------------------------------------
+    def absorb(self, doc: dict) -> None:
+        """Fold another profiler's exported document into this one."""
+        with self._lock:
+            self.samples += doc.get("samples", 0)
+            for stack, count in doc.get("stacks", {}).items():
+                self.stacks[stack] += count
+
+    def as_doc(self) -> dict:
+        """JSON-able snapshot: interval, total samples, folded stacks."""
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "samples": self.samples,
+                "stacks": dict(sorted(self.stacks.items())),
+            }
+
+
+def folded_text(doc: dict) -> str:
+    """Render a profile document as ``stack count`` flamegraph lines."""
+    lines = [
+        f"{stack} {count}"
+        for stack, count in sorted(doc.get("stacks", {}).items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def top_stacks(doc: dict, limit: int = 10) -> list[tuple[str, int]]:
+    """The heaviest folded stacks, for textual summaries."""
+    ranked = sorted(
+        doc.get("stacks", {}).items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    return ranked[:limit]
+
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "SamplingProfiler",
+    "fold_stack",
+    "folded_text",
+    "profile_interval",
+    "profiling_enabled",
+    "top_stacks",
+]

@@ -19,11 +19,13 @@ each other's profiles.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 
 from repro.accel.runtime import KernelTimings, stages_doc
 from repro.obs.context import current_scope, pop_scope, push_scope
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler, profiling_enabled
 from repro.obs.trace import NO_SPAN, Tracer
 
 
@@ -37,6 +39,7 @@ class RunScope:
         shard_id: int | None = None,
         stream_step: int | None = None,
         trace: bool | None = None,
+        profile: bool | None = None,
     ):
         self.run_id = run_id
         self.tracer = Tracer(
@@ -44,19 +47,67 @@ class RunScope:
         )
         self.metrics = MetricsRegistry()
         self.timings = KernelTimings()
+        # The wall-clock sampler is created lazily on the first profiled
+        # activation; ``None`` for ``profile`` defers to the
+        # ``REPRO_PROFILE`` environment gate at each activation, so a
+        # scope built before the gate flips still honours it.
+        self._profile = profile
+        self.profiler: SamplingProfiler | None = None
+
+    @property
+    def profiling(self) -> bool:
+        return profiling_enabled() if self._profile is None else self._profile
 
     @contextmanager
     def activate(self):
-        """Make this the current scope for the calling context."""
+        """Make this the current scope for the calling context.
+
+        A profiled scope samples the activating thread's wall-clock
+        stacks for the duration of the activation; samples accumulate
+        across activations (a session activates once per step).
+        """
         token = push_scope(self)
+        profiler = None
+        if self.profiling:
+            if self.profiler is None:
+                self.profiler = SamplingProfiler()
+            profiler = self.profiler
+            profiler.start()
         try:
             yield self
         finally:
+            if profiler is not None:
+                profiler.stop()
             pop_scope(token)
 
     # ------------------------------------------------------------------
-    def absorb(self, *, spans: list | None = None, metrics: dict | None = None) -> None:
-        """Fold a child scope's exported spans/metrics into this one.
+    def publish(self, kind: str, **fields) -> None:
+        """Post one progress event onto the process-wide telemetry bus.
+
+        The event carries the scope's correlation fields (run_id /
+        shard_id / stream_step) plus ``fields``; a subscribed
+        :class:`~repro.obs.live.StoreEventWriter` persists it so other
+        processes can tail the run.  Progress events are operational —
+        like counters, they stay on under ``REPRO_NO_TRACE``.
+        """
+        from repro.obs.live import BUS
+
+        event = {"kind": kind, "ts": time.time()}
+        if self.run_id is not None:
+            event["run_id"] = self.run_id
+        event.update(self.tracer.correlation)
+        event.update(fields)
+        BUS.publish(event)
+
+    # ------------------------------------------------------------------
+    def absorb(
+        self,
+        *,
+        spans: list | None = None,
+        metrics: dict | None = None,
+        profile: dict | None = None,
+    ) -> None:
+        """Fold a child scope's exported spans/metrics/profile into this one.
 
         Shard timings travel separately (``TIMINGS.merge`` routes to the
         active scope), mirroring how the pool has always shipped deltas.
@@ -65,6 +116,12 @@ class RunScope:
             self.tracer.add_spans(spans)
         if metrics:
             self.metrics.merge(metrics)
+        if profile and profile.get("samples"):
+            if self.profiler is None:
+                self.profiler = SamplingProfiler(
+                    interval=profile.get("interval")
+                )
+            self.profiler.absorb(profile)
 
     def export(self) -> dict:
         """JSON-able document of everything the scope collected."""
@@ -75,6 +132,8 @@ class RunScope:
         }
         if self.tracer.dropped:
             doc["trace_dropped"] = self.tracer.dropped
+        if self.profiler is not None and self.profiler.samples:
+            doc["profile"] = self.profiler.as_doc()
         return doc
 
 
@@ -106,8 +165,20 @@ def event(name: str, **fields) -> None:
         scope.tracer.event(name, **fields)
 
 
-def absorb(*, spans: list | None = None, metrics: dict | None = None) -> None:
-    """Fold child spans/metrics into the active scope, if any."""
+def publish(kind: str, **fields) -> None:
+    """Post a progress event onto the telemetry bus via the active scope."""
     scope = current_scope()
     if scope is not None:
-        scope.absorb(spans=spans, metrics=metrics)
+        scope.publish(kind, **fields)
+
+
+def absorb(
+    *,
+    spans: list | None = None,
+    metrics: dict | None = None,
+    profile: dict | None = None,
+) -> None:
+    """Fold child spans/metrics/profile into the active scope, if any."""
+    scope = current_scope()
+    if scope is not None:
+        scope.absorb(spans=spans, metrics=metrics, profile=profile)

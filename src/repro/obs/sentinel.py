@@ -1,0 +1,273 @@
+"""The cross-run regression sentinel behind ``repro bench compare``.
+
+Benchmarks (and run artifacts) accumulate per-stage timings; the
+sentinel diffs two snapshots of them and flags slowdowns that exceed a
+*noise-modelled* threshold, so CI can fail on a real regression without
+flapping on timer jitter:
+
+* :func:`load_snapshot` normalises any of the artifact shapes this repo
+  produces — a ``runs/<id>/`` artifact directory, a
+  ``BENCH_history.jsonl`` trajectory (multiple samples per stage), a
+  single ``BENCH_*.json`` document — into
+  ``{"stages": {name: [seconds, ...]}, "gauges": {...}}``.
+* :func:`compare` models each baseline stage as mean ± std across its
+  samples and allows ``mean * (1 + max(max_slowdown, z * cv))`` before
+  flagging; stages faster than ``min_seconds`` in either snapshot are
+  skipped entirely (self-gating — micro-stages are pure noise).
+* :func:`render_report` is the human-readable table the CLI prints.
+
+An identical re-run therefore always passes (ratio 1.0 against a ≥ 1.5x
+allowance), while a genuine 2x stage slowdown on a measurable stage is
+always flagged — the acceptance contract pinned by
+``tests/test_sentinel.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Stages (or gauges) below this many seconds are never compared.
+MIN_SECONDS = 0.05
+
+#: Minimum tolerated slowdown before a flag is even possible (50%).
+MAX_SLOWDOWN = 0.5
+
+#: Noise multiplier: allowance grows to ``z``× the baseline's
+#: coefficient of variation when its samples are noisy.
+NOISE_Z = 3.0
+
+#: Gauge names containing one of these fragments are treated as
+#: time-like and compared alongside stages.
+_TIME_GAUGE_FRAGMENTS = ("seconds", "_time", "duration")
+
+
+@dataclass
+class Snapshot:
+    """Normalised perf snapshot: per-stage samples + latest gauges."""
+
+    source: str
+    stages: dict[str, list[float]] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        self.stages.setdefault(name, []).append(float(seconds))
+
+
+@dataclass
+class Finding:
+    """One compared stage (or time-like gauge) and its verdict."""
+
+    name: str
+    baseline: float
+    current: float
+    allowed: float
+    flagged: bool
+    samples: int = 1
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else math.inf
+
+
+# ----------------------------------------------------------------------
+# Snapshot loading
+# ----------------------------------------------------------------------
+def load_snapshot(path: str | Path) -> Snapshot:
+    """Normalise any supported artifact at ``path`` into a snapshot.
+
+    Accepts a run artifact directory (``meta.json`` stage timings +
+    ``metrics.json`` gauges), a ``.jsonl`` benchmark history, or a
+    single ``.json`` document (run-artifact metrics shape, or the
+    ``BENCH_prepare.json`` trajectory list).
+    """
+    target = Path(path)
+    if not target.exists():
+        raise FileNotFoundError(f"no snapshot at {target}")
+    snapshot = Snapshot(source=str(target))
+    if target.is_dir():
+        _load_artifact_dir(target, snapshot)
+    elif target.suffix == ".jsonl":
+        for entry in _read_jsonl(target):
+            _load_entry(entry, snapshot)
+    else:
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        if isinstance(doc, list):
+            for entry in doc:
+                _load_entry(entry, snapshot)
+        else:
+            _load_entry(doc, snapshot)
+    return snapshot
+
+
+def _read_jsonl(path: Path) -> list[dict]:
+    entries = []
+    with path.open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def _load_artifact_dir(root: Path, snapshot: Snapshot) -> None:
+    meta_path = root / "meta.json"
+    if meta_path.exists():
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        _absorb_stages(meta.get("stage_timings", {}), snapshot)
+    metrics_path = root / "metrics.json"
+    if metrics_path.exists():
+        metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+        _absorb_metrics(metrics, snapshot)
+
+
+def _load_entry(entry: dict, snapshot: Snapshot) -> None:
+    """Fold one JSON document of any supported shape into the snapshot."""
+    if not isinstance(entry, dict):
+        return
+    _absorb_stages(entry.get("stages", {}), snapshot)
+    # bench_prepare trajectory entries carry two stage dicts per sample.
+    _absorb_stages(entry.get("stages_accel", {}), snapshot, prefix="accel.")
+    _absorb_stages(entry.get("stages_fallback", {}), snapshot, prefix="fallback.")
+    meta = entry.get("meta", {})
+    if isinstance(meta, dict):
+        _absorb_stages(meta.get("stage_timings", {}), snapshot)
+    metrics = entry.get("metrics", entry if "gauges" in entry else {})
+    _absorb_metrics(metrics, snapshot)
+
+
+def _absorb_stages(stages: dict, snapshot: Snapshot, prefix: str = "") -> None:
+    if not isinstance(stages, dict):
+        return
+    for name, doc in stages.items():
+        seconds = doc.get("seconds") if isinstance(doc, dict) else doc
+        if isinstance(seconds, (int, float)):
+            snapshot.add_stage(prefix + name, seconds)
+
+
+def _absorb_metrics(metrics: dict, snapshot: Snapshot) -> None:
+    if not isinstance(metrics, dict):
+        return
+    for name, value in metrics.get("gauges", {}).items():
+        if isinstance(value, (int, float)):
+            snapshot.gauges[name] = float(value)
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def _mean_std(samples: list[float]) -> tuple[float, float]:
+    mean = sum(samples) / len(samples)
+    if len(samples) < 2:
+        return mean, 0.0
+    variance = sum((x - mean) ** 2 for x in samples) / (len(samples) - 1)
+    return mean, math.sqrt(variance)
+
+
+def compare(
+    baseline: Snapshot,
+    current: Snapshot,
+    *,
+    max_slowdown: float = MAX_SLOWDOWN,
+    min_seconds: float = MIN_SECONDS,
+    z: float = NOISE_Z,
+) -> list[Finding]:
+    """Diff two snapshots; returns one finding per comparable series.
+
+    A stage flags when the current mean exceeds
+    ``baseline_mean * (1 + max(max_slowdown, z * cv))`` where ``cv`` is
+    the baseline's coefficient of variation — noisy baselines earn wider
+    allowances automatically.  Series under ``min_seconds`` on either
+    side are skipped (self-gating), as are stages present in only one
+    snapshot (no basis for comparison).
+    """
+    findings: list[Finding] = []
+    for name in sorted(set(baseline.stages) & set(current.stages)):
+        base_samples = baseline.stages[name]
+        cur_samples = current.stages[name]
+        base_mean, base_std = _mean_std(base_samples)
+        cur_mean, _ = _mean_std(cur_samples)
+        if base_mean < min_seconds or cur_mean < min_seconds:
+            continue
+        cv = base_std / base_mean if base_mean else 0.0
+        allowance = max(max_slowdown, z * cv)
+        allowed = base_mean * (1.0 + allowance)
+        findings.append(
+            Finding(
+                name=name,
+                baseline=base_mean,
+                current=cur_mean,
+                allowed=allowed,
+                flagged=cur_mean > allowed,
+                samples=len(base_samples),
+            )
+        )
+    for name in sorted(set(baseline.gauges) & set(current.gauges)):
+        if not any(fragment in name for fragment in _TIME_GAUGE_FRAGMENTS):
+            continue
+        base = baseline.gauges[name]
+        cur = current.gauges[name]
+        if base < min_seconds or cur < min_seconds:
+            continue
+        allowed = base * (1.0 + max_slowdown)
+        findings.append(
+            Finding(
+                name=f"gauge:{name}",
+                baseline=base,
+                current=cur,
+                allowed=allowed,
+                flagged=cur > allowed,
+            )
+        )
+    return findings
+
+
+def flagged(findings: list[Finding]) -> list[Finding]:
+    return [finding for finding in findings if finding.flagged]
+
+
+def render_report(
+    baseline: Snapshot, current: Snapshot, findings: list[Finding]
+) -> str:
+    """The ``repro bench compare`` report (no trailing newline)."""
+    lines = [
+        f"baseline: {baseline.source}",
+        f"current:  {current.source}",
+    ]
+    if not findings:
+        lines.append("no comparable stages above the noise floor")
+        return "\n".join(lines)
+    lines.append(
+        f"{'STAGE':<40} {'BASE':>9} {'CURRENT':>9} {'RATIO':>7} "
+        f"{'ALLOWED':>9}  VERDICT"
+    )
+    for finding in findings:
+        verdict = "REGRESSION" if finding.flagged else "ok"
+        lines.append(
+            f"{finding.name[:40]:<40} {finding.baseline:>8.3f}s "
+            f"{finding.current:>8.3f}s {finding.ratio:>6.2f}x "
+            f"{finding.allowed:>8.3f}s  {verdict}"
+        )
+    bad = flagged(findings)
+    if bad:
+        lines.append(
+            f"{len(bad)} regression(s) flagged out of {len(findings)} compared"
+        )
+    else:
+        lines.append(f"all {len(findings)} compared stages within allowance")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Finding",
+    "MAX_SLOWDOWN",
+    "MIN_SECONDS",
+    "NOISE_Z",
+    "Snapshot",
+    "compare",
+    "flagged",
+    "load_snapshot",
+    "render_report",
+]

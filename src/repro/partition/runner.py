@@ -203,6 +203,10 @@ class _ShardOutcome:
     #: session scope).  The parent absorbs both in ``_finish_shard``.
     spans: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    #: Folded-stack wall-clock samples from the worker's profiler
+    #: (``REPRO_PROFILE=1`` only) — absorbed into the session scope so a
+    #: partitioned run's flamegraph covers its pool workers.
+    profile: dict = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -366,6 +370,8 @@ def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
             outcome.timings = scope.timings.snapshot()
             outcome.spans = scope.tracer.spans()
             outcome.metrics = scope.metrics.as_doc()
+            if scope.profiler is not None and scope.profiler.samples:
+                outcome.profile = scope.profiler.as_doc()
             event_queue.put(("done", task.shard.shard_id, outcome))
         except Exception:
             event_queue.put(("error", task.shard.shard_id, traceback.format_exc()))
@@ -781,8 +787,12 @@ class ParallelRunner:
             # so partitioned runs report a complete timing profile (merge
             # routes to the active session scope as well).
             TIMINGS.merge(outcome.timings)
-        if outcome.spans or outcome.metrics:
-            obs.absorb(spans=outcome.spans, metrics=outcome.metrics)
+        if outcome.spans or outcome.metrics or outcome.profile:
+            obs.absorb(
+                spans=outcome.spans,
+                metrics=outcome.metrics,
+                profile=outcome.profile,
+            )
         if self._store is not None:
             self._store.save_shard_result(
                 self._run_id,
@@ -794,6 +804,19 @@ class ParallelRunner:
 
     def _emit(self, event: ShardEvent) -> None:
         obs.count(f"partition.shard.{event.kind}")
+        # Shard lifecycle heartbeats for the live plane: _emit always
+        # runs in the parent (workers funnel through the event queue),
+        # so the session scope is active and its event writer persists
+        # the row with the shard id as a dedicated column.
+        obs.publish(
+            f"shard.{event.kind}",
+            shard_id=event.shard_id,
+            phase=event.phase,
+            pairs=event.pairs,
+            loops=event.loops,
+            questions=event.questions,
+            matches=event.matches,
+        )
         log.debug(
             "shard %d %s (%s): pairs=%d loops=%d questions=%d",
             event.shard_id,

@@ -35,6 +35,7 @@ import json
 import threading
 import traceback
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 
 from repro.accel.runtime import accel_enabled, stages_doc
 from repro.core import Remp, RempConfig
@@ -48,6 +49,7 @@ from repro.crowd import CrowdPlatform
 from repro.datasets import load_dataset
 from repro.obs import runtime as obs
 from repro.obs.artifacts import run_meta
+from repro.obs.live import StoreEventWriter
 from repro.obs.logging import get_logger
 from repro.partition import CrowdSpec, ParallelRunner
 from repro.store import RunStore, config_hash
@@ -171,6 +173,29 @@ class MatchingSession:
         return len(self._history)
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def _observed(self):
+        """Lock + scope activation + live-event persistence, together.
+
+        Every execution path runs under this: while it is open, anything
+        published on the telemetry bus under this run id (status
+        transitions, loop heartbeats, shard lifecycle events funnelled
+        through the parent, stream summaries) is appended to the store's
+        ``run_events`` table — which is what lets a *second process*
+        watch the run live (``repro runs watch`` / ``repro top``).
+        """
+        with self._lock, StoreEventWriter(self._store, self.run_id), (
+            self._scope.activate()
+        ):
+            yield
+
+    def _set_status(self, status: str, **fields) -> None:
+        """Record a lifecycle transition in the ledger and on the bus."""
+        self.status = status
+        self._store.update_run_status(self.run_id, status)
+        self._scope.publish(f"status.{status}", **fields)
+
+    # ------------------------------------------------------------------
     def _save_timings(self) -> None:
         """Persist the kernel/stage timings this session's scope collected.
 
@@ -211,8 +236,7 @@ class MatchingSession:
         """Prepare (through the cache), build the crowd, load any checkpoint."""
         if self._loop_state is not None:
             return
-        self.status = PREPARING
-        self._store.update_run_status(self.run_id, PREPARING)
+        self._set_status(PREPARING)
         state: PreparedState = self._prepared_provider(
             self.dataset, self.seed, self.scale, self.config
         )
@@ -249,8 +273,7 @@ class MatchingSession:
                 self._base_questions,
             )
         self._billed_at_start = self._platform.questions_asked
-        self.status = RUNNING
-        self._store.update_run_status(self.run_id, RUNNING)
+        self._set_status(RUNNING)
 
     def step(self) -> bool:
         """Advance one human–machine loop and checkpoint it.
@@ -268,7 +291,7 @@ class MatchingSession:
                 "partitioned sessions advance whole shards, not loops; "
                 "use run()/result() instead of step()"
             )
-        with self._lock, self._scope.activate():
+        with self._observed():
             if self._result is not None or self._loop_converged:
                 return False
             self._ensure_started()
@@ -309,6 +332,13 @@ class MatchingSession:
                     answer_log=self._platform.export_answer_log(),
                 ),
             )
+            # The per-loop heartbeat watchers poll for: cheap, and on
+            # even under REPRO_NO_TRACE (operational, like counters).
+            obs.publish(
+                "loop.checkpointed",
+                loops=self._next_loop,
+                questions=self.questions_asked,
+            )
             return True
 
     def finalize(self) -> RempResult:
@@ -317,7 +347,7 @@ class MatchingSession:
             return self._run_stream()
         if self.workers is not None:
             return self._run_partitioned()
-        with self._lock, self._scope.activate():
+        with self._observed():
             if self._result is not None:
                 return self._result
             self._ensure_started()
@@ -345,6 +375,11 @@ class MatchingSession:
             self._result = result
             self.status = DONE
             self._store.finish_run(self.run_id, result)
+            self._scope.publish(
+                "status.done",
+                questions=result.questions_asked,
+                matches=len(result.matches),
+            )
             self._save_timings()
             self._save_obs(result)
             log.info(
@@ -371,6 +406,11 @@ class MatchingSession:
                 self.status = FAILED
                 self.error = f"{type(exc).__name__}: {exc}"
                 self._store.fail_run(self.run_id, traceback.format_exc())
+                # The execution path's event writer unwound with the
+                # exception; a short-lived one records the terminal
+                # transition so watchers see the failure, not a stall.
+                with StoreEventWriter(self._store, self.run_id):
+                    self._scope.publish("status.failed", error=self.error)
             log.error("run %s failed: %s", self.run_id, self.error)
             raise
 
@@ -387,11 +427,10 @@ class MatchingSession:
         concurrent ``result()``/``finalize()`` callers wait for the one
         execution instead of fanning out a second pool.
         """
-        with self._lock, self._scope.activate():
+        with self._observed():
             if self._result is not None:
                 return self._result
-            self.status = PREPARING
-            self._store.update_run_status(self.run_id, PREPARING)
+            self._set_status(PREPARING)
             state: PreparedState = self._prepared_provider(
                 self.dataset, self.seed, self.scale, self.config
             )
@@ -408,8 +447,7 @@ class MatchingSession:
                 run_id=self.run_id,
                 on_event=self.on_event,
             )
-            self.status = RUNNING
-            self._store.update_run_status(self.run_id, RUNNING)
+            self._set_status(RUNNING)
             result = runner.run(state, crowd)
             # Shard billing is additive over disjoint pair sets, so the
             # per-shard items sum to the merged question count exactly.
@@ -417,6 +455,11 @@ class MatchingSession:
             self._result = result
             self.status = DONE
             self._store.finish_run(self.run_id, result)
+            self._scope.publish(
+                "status.done",
+                questions=result.questions_asked,
+                matches=len(result.matches),
+            )
             self._save_timings()
             self._save_obs(result)
             log.info(
@@ -438,11 +481,10 @@ class MatchingSession:
         without re-asking a question.  Unit records persist past
         ``finish_run``: they are what the *next* update reuses.
         """
-        with self._lock, self._scope.activate():
+        with self._observed():
             if self._result is not None:
                 return self._result
-            self.status = PREPARING
-            self._store.update_run_status(self.run_id, PREPARING)
+            self._set_status(PREPARING)
             state, dirty, reuse, truth = self._stream_provider(self)
             crowd = CrowdSpec(
                 truth=truth, error_rate=self.error_rate, seed=self.seed
@@ -456,8 +498,7 @@ class MatchingSession:
                 run_id=self.run_id,
                 on_event=self.on_event,
             )
-            self.status = RUNNING
-            self._store.update_run_status(self.run_id, RUNNING)
+            self._set_status(RUNNING)
             outcome = runner.run_incremental(state, crowd, dirty=dirty, reuse=reuse)
             self._store.replace_unit_records(
                 self.run_id,
@@ -483,6 +524,11 @@ class MatchingSession:
             self._result = outcome.result
             self.status = DONE
             self._store.finish_run(self.run_id, outcome.result)
+            self._scope.publish(
+                "status.done",
+                questions=outcome.result.questions_asked,
+                matches=len(outcome.result.matches),
+            )
             self._save_timings()
             self._save_obs(outcome.result)
             log.info(

@@ -104,6 +104,16 @@ CREATE TABLE IF NOT EXISTS run_obs (
     payload    TEXT NOT NULL,
     updated_at TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS run_events (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id      TEXT NOT NULL,
+    ts          REAL NOT NULL,
+    kind        TEXT NOT NULL,
+    shard_id    INTEGER,
+    stream_step INTEGER,
+    payload     TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS run_events_by_run ON run_events (run_id, seq);
 """
 
 #: Columns added after the v1 schema.  New databases get them through
@@ -655,6 +665,96 @@ class RunStore:
         return None if row is None else json.loads(row["payload"])
 
     # ------------------------------------------------------------------
+    # Live telemetry events (repro.obs.live): append-only, tailable
+    # ------------------------------------------------------------------
+    # The ``run_events`` table is the cross-process half of the telemetry
+    # bus: sessions append progress/heartbeat rows while they run, and a
+    # *second* process tails them by sequence number (``repro runs watch``,
+    # ``repro top``).  Stores created before this release upgrade on open
+    # — ``_SCHEMA`` runs every time, so the table appears without an
+    # explicit ALTER migration.
+
+    def append_run_event(
+        self,
+        run_id: str,
+        kind: str,
+        payload: dict | None = None,
+        *,
+        ts: float | None = None,
+        shard_id: int | None = None,
+        stream_step: int | None = None,
+    ) -> int:
+        """Append one telemetry event row; returns its sequence number."""
+        if ts is None:
+            ts = datetime.now(timezone.utc).timestamp()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO run_events"
+                " (run_id, ts, kind, shard_id, stream_step, payload)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    ts,
+                    kind,
+                    shard_id,
+                    stream_step,
+                    json.dumps(payload or {}, sort_keys=True),
+                ),
+            )
+        return cursor.lastrowid
+
+    def tail_run_events(
+        self, run_id: str, after_seq: int = 0, limit: int | None = None
+    ) -> list[dict]:
+        """Events of a run with ``seq > after_seq``, oldest first.
+
+        Each event is a flat dict: the row columns (``seq``/``ts``/
+        ``kind`` plus ``shard_id``/``stream_step`` when set) merged with
+        the JSON payload fields.  Pass the last seen ``seq`` back in to
+        poll incrementally — the watch loop's contract.
+        """
+        query = (
+            "SELECT seq, ts, kind, shard_id, stream_step, payload"
+            " FROM run_events WHERE run_id = ? AND seq > ? ORDER BY seq"
+        )
+        params: tuple = (run_id, after_seq)
+        if limit is not None:
+            query += " LIMIT ?"
+            params = (*params, limit)
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [_event_doc(row) for row in rows]
+
+    def last_run_event(self, run_id: str) -> dict | None:
+        """The most recent event of a run, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT seq, ts, kind, shard_id, stream_step, payload"
+                " FROM run_events WHERE run_id = ? ORDER BY seq DESC LIMIT 1",
+                (run_id,),
+            ).fetchone()
+        return None if row is None else _event_doc(row)
+
+    def count_run_events(self, run_id: str) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM run_events WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return row["n"]
+
+    def clear_run_events(self, run_id: str) -> int:
+        """Drop a run's telemetry events; returns the number removed."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM run_events WHERE run_id = ?", (run_id,)
+            )
+        return cursor.rowcount
+
+    def active_runs(self) -> list[RunRecord]:
+        """Ledger rows still in flight (queued / preparing / running)."""
+        return [record for record in self.list_runs() if not record.finished]
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Row counts for ``repro cache info`` and diagnostics."""
         with self._lock:
@@ -679,6 +779,9 @@ class RunStore:
             run_obs = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM run_obs"
             ).fetchone()["n"]
+            run_events = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM run_events"
+            ).fetchone()["n"]
         return {
             "path": self.path,
             "prepared_states": prepared,
@@ -688,7 +791,20 @@ class RunStore:
             "shard_checkpoints": shard_checkpoints,
             "stream_units": stream_units,
             "run_obs": run_obs,
+            "run_events": run_events,
         }
+
+
+def _event_doc(row: sqlite3.Row) -> dict:
+    doc = {"seq": row["seq"], "ts": row["ts"], "kind": row["kind"]}
+    if row["shard_id"] is not None:
+        doc["shard_id"] = row["shard_id"]
+    if row["stream_step"] is not None:
+        doc["stream_step"] = row["stream_step"]
+    payload = json.loads(row["payload"])
+    for key, value in payload.items():
+        doc.setdefault(key, value)
+    return doc
 
 
 def _run_record(row: sqlite3.Row) -> RunRecord:

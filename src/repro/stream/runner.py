@@ -194,6 +194,13 @@ class StreamRunner:
             obs.gauge(
                 "stream.unit_reuse_rate", round(len(reused_keys) / len(records), 6)
             )
+        obs.publish(
+            "stream.summary",
+            units=len(records),
+            reused=len(reused_keys),
+            executed=len(executed_keys),
+            questions_new=questions_new,
+        )
         log.info(
             "stream run: %d units (%d reused, %d executed), %d new questions",
             len(records),

@@ -205,6 +205,36 @@ class TestStoreCommands:
         assert main(["runs", "export-artifacts", "nope",
                      "--store", store_path]) == 1
 
+    def test_runs_export_artifacts_refuses_overwrite(
+        self, store_path, capsys, tmp_path
+    ):
+        run_id = self._submit_run(store_path, capsys)
+        out_root = tmp_path / "artifacts"
+        argv = ["runs", "export-artifacts", run_id,
+                "--out", str(out_root), "--store", store_path]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 1
+        assert "--force" in capsys.readouterr().err
+        assert main(argv + ["--force"]) == 0
+        assert "wrote run artifacts" in capsys.readouterr().out
+
+    def test_run_profile_flag_collects_samples(self, store_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_INTERVAL", "0.001")
+        assert main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",
+                     "--profile", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        run_id = next(
+            part.split("=", 1)[1] for part in out.split() if part.startswith("run=")
+        )
+        with RunStore(store_path) as store:
+            doc = store.load_run_obs(run_id)
+        assert doc["profile"]["samples"] >= 0
+        assert "interval" in doc["profile"]
+        # The flag must not leak into later commands' environment.
+        import os
+        assert os.environ.get("REPRO_PROFILE") is None
+
     def test_cache_info_and_clear(self, store_path, capsys):
         main(["run", "iimb", "--scale", "0.2", "--error-rate", "0",
               "--store", store_path])

@@ -4,6 +4,8 @@ import json
 import logging
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.accel.runtime import TIMINGS
 from repro.obs import (
@@ -97,6 +99,63 @@ class TestMetricsRegistry:
         first.merge(second)
         assert first.counter("questions") == 8
         assert first.as_doc()["gauges"]["rate"] == 0.25
+
+    def test_merge_takes_elementwise_gauge_max(self):
+        # Pinned semantics: merged gauges take the element-wise max, so
+        # absorbing shard registries is order-independent.  Direct
+        # ``gauge()`` calls stay last-write (see the overwrite test).
+        low, high = MetricsRegistry(), MetricsRegistry()
+        low.gauge("depth", 2.0)
+        high.gauge("depth", 5.0)
+        high.gauge("only_high", 1.0)
+        low.merge(high)
+        assert low.as_doc()["gauges"] == {"depth": 5.0, "only_high": 1.0}
+        # Merging the lower value back in does not regress the max.
+        relow = MetricsRegistry()
+        relow.gauge("depth", 2.0)
+        low.merge(relow)
+        assert low.as_doc()["gauges"]["depth"] == 5.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        docs=st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(
+                    min_value=-1e6,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        order=st.randoms(),
+    )
+    def test_gauge_merge_is_commutative_and_associative(self, docs, order):
+        """Any absorption order of shard gauge docs yields the same
+        merged registry — max is commutative and associative."""
+
+        def merged(sequence):
+            registry = MetricsRegistry()
+            for gauges in sequence:
+                registry.merge(MetricsRegistry.from_doc({"gauges": gauges}))
+            return registry.as_doc()["gauges"]
+
+        shuffled = list(docs)
+        order.shuffle(shuffled)
+        assert merged(docs) == merged(shuffled)
+        # Associativity: pre-merging a prefix then folding the rest is
+        # the same as folding everything one by one.
+        prefix = MetricsRegistry()
+        for gauges in docs[: len(docs) // 2]:
+            prefix.merge(MetricsRegistry.from_doc({"gauges": gauges}))
+        rest = MetricsRegistry.from_doc(prefix.as_doc())
+        for gauges in docs[len(docs) // 2 :]:
+            rest.merge(MetricsRegistry.from_doc({"gauges": gauges}))
+        assert rest.as_doc()["gauges"] == merged(docs)
 
 
 class TestRunScope:
@@ -233,6 +292,29 @@ class TestArtifactContract:
         store = RunStore(tmp_path / "store.db")
         with pytest.raises(KeyError):
             export_run_artifacts(store, "nope", root=tmp_path / "runs")
+        store.close()
+
+    def test_existing_export_refused_unless_forced(self, tmp_path):
+        store = RunStore(tmp_path / "store.db")
+        run_id = store.create_run("iimb", 0, 0.2, None)
+        dest = export_run_artifacts(store, run_id, root=tmp_path / "runs")
+        marker = dest / "meta.json"
+        before = marker.read_text()
+        marker.write_text('{"tampered": true}')
+        with pytest.raises(FileExistsError, match="--force"):
+            export_run_artifacts(store, run_id, root=tmp_path / "runs")
+        # The refused export touched nothing.
+        assert marker.read_text() == '{"tampered": true}'
+        export_run_artifacts(store, run_id, root=tmp_path / "runs", force=True)
+        assert marker.read_text() == before
+        store.close()
+
+    def test_empty_destination_directory_is_fine(self, tmp_path):
+        store = RunStore(tmp_path / "store.db")
+        run_id = store.create_run("iimb", 0, 0.2, None)
+        (tmp_path / "runs" / run_id).mkdir(parents=True)
+        dest = export_run_artifacts(store, run_id, root=tmp_path / "runs")
+        assert (dest / "meta.json").exists()
         store.close()
 
 

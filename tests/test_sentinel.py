@@ -1,0 +1,201 @@
+"""Regression sentinel: snapshot loading, noise model, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.sentinel import (
+    Snapshot,
+    compare,
+    flagged,
+    load_snapshot,
+    render_report,
+)
+
+
+def _history(path, samples, stage="loop.run"):
+    with path.open("w") as handle:
+        for seconds in samples:
+            handle.write(
+                json.dumps({"bench": "t", "stages": {stage: seconds}}) + "\n"
+            )
+    return path
+
+
+class TestLoadSnapshot:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_snapshot(tmp_path / "nope.jsonl")
+
+    def test_jsonl_history_accumulates_samples(self, tmp_path):
+        path = _history(tmp_path / "h.jsonl", [1.0, 1.1, 0.9])
+        snapshot = load_snapshot(path)
+        assert snapshot.stages == {"loop.run": [1.0, 1.1, 0.9]}
+
+    def test_artifact_directory(self, tmp_path):
+        root = tmp_path / "run-1"
+        root.mkdir()
+        (root / "meta.json").write_text(
+            json.dumps(
+                {"stage_timings": {"prepare.vectors": {"seconds": 2.0, "calls": 1}}}
+            )
+        )
+        (root / "metrics.json").write_text(
+            json.dumps({"counters": {}, "gauges": {"bench.traced_seconds": 3.5}})
+        )
+        snapshot = load_snapshot(root)
+        assert snapshot.stages == {"prepare.vectors": [2.0]}
+        assert snapshot.gauges == {"bench.traced_seconds": 3.5}
+
+    def test_single_json_document(self, tmp_path):
+        path = tmp_path / "BENCH_obs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "meta": {"bench": "obs"},
+                    "metrics": {"gauges": {"bench.overhead": 0.01}},
+                    "stages": {"obs.traced_run": 1.5},
+                }
+            )
+        )
+        snapshot = load_snapshot(path)
+        assert snapshot.stages == {"obs.traced_run": [1.5]}
+        assert snapshot.gauges == {"bench.overhead": 0.01}
+
+    def test_trajectory_list_with_accel_fallback_prefixes(self, tmp_path):
+        path = tmp_path / "BENCH_prepare.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "bench": "prepare",
+                        "stages_accel": {"prepare.vectors": {"seconds": 0.5, "calls": 1}},
+                        "stages_fallback": {"prepare.vectors": 2.5},
+                    }
+                ]
+            )
+        )
+        snapshot = load_snapshot(path)
+        assert snapshot.stages == {
+            "accel.prepare.vectors": [0.5],
+            "fallback.prepare.vectors": [2.5],
+        }
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        base = Snapshot(source="a", stages={"s": [1.0, 1.05, 0.95]})
+        cur = Snapshot(source="b", stages={"s": [1.0]})
+        findings = compare(base, cur)
+        assert len(findings) == 1
+        assert not flagged(findings)
+        assert findings[0].ratio == pytest.approx(1.0)
+
+    def test_2x_slowdown_flags(self):
+        base = Snapshot(source="a", stages={"s": [1.0, 1.0, 1.0]})
+        cur = Snapshot(source="b", stages={"s": [2.0]})
+        (finding,) = compare(base, cur)
+        assert finding.flagged
+        assert finding.ratio == pytest.approx(2.0)
+
+    def test_noisy_baseline_earns_wider_allowance(self):
+        # cv ≈ 0.33 → allowance ≈ 3 * 0.33 ≈ 1.0, so a 1.8x current passes
+        # where a quiet baseline (50% allowance) would have flagged it.
+        noisy = Snapshot(source="a", stages={"s": [1.0, 1.5, 0.5, 1.3, 0.7]})
+        quiet = Snapshot(source="a", stages={"s": [1.0, 1.0, 1.0]})
+        cur = Snapshot(source="b", stages={"s": [1.8]})
+        assert not flagged(compare(noisy, cur))
+        assert flagged(compare(quiet, cur))
+
+    def test_min_seconds_gates_micro_stages(self):
+        base = Snapshot(source="a", stages={"tiny": [0.001], "big": [1.0]})
+        cur = Snapshot(source="b", stages={"tiny": [0.049], "big": [1.1]})
+        findings = compare(base, cur)
+        # The 49x "regression" on a sub-threshold stage never surfaces.
+        assert [f.name for f in findings] == ["big"]
+        assert not flagged(findings)
+
+    def test_stages_present_on_one_side_are_skipped(self):
+        base = Snapshot(source="a", stages={"old": [1.0]})
+        cur = Snapshot(source="b", stages={"new": [1.0]})
+        assert compare(base, cur) == []
+
+    def test_time_like_gauges_compared_others_ignored(self):
+        base = Snapshot(
+            source="a",
+            gauges={"bench.traced_seconds": 1.0, "bench.overhead": 0.01},
+        )
+        cur = Snapshot(
+            source="b",
+            gauges={"bench.traced_seconds": 2.5, "bench.overhead": 0.99},
+        )
+        findings = compare(base, cur)
+        assert [f.name for f in findings] == ["gauge:bench.traced_seconds"]
+        assert findings[0].flagged
+
+    def test_render_report_marks_regressions(self):
+        base = Snapshot(source="base.jsonl", stages={"s": [1.0]})
+        cur = Snapshot(source="cur.jsonl", stages={"s": [2.0]})
+        findings = compare(base, cur)
+        report = render_report(base, cur, findings)
+        assert "base.jsonl" in report and "cur.jsonl" in report
+        assert "REGRESSION" in report
+        assert "1 regression(s) flagged" in report
+        empty = render_report(base, cur, [])
+        assert "no comparable stages" in empty
+
+
+class TestBenchCompareCLI:
+    def test_identical_rerun_passes(self, tmp_path, capsys):
+        base = _history(tmp_path / "base.jsonl", [1.0, 1.02, 0.98])
+        cur = _history(tmp_path / "cur.jsonl", [1.01])
+        assert main(["bench", "compare", str(base), str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "within allowance" in out
+
+    def test_injected_2x_slowdown_fails(self, tmp_path, capsys):
+        base = _history(tmp_path / "base.jsonl", [1.0, 1.0, 1.0])
+        cur = _history(tmp_path / "cur.jsonl", [2.0])
+        assert main(["bench", "compare", str(base), str(cur)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_snapshot_is_usage_error(self, tmp_path, capsys):
+        base = _history(tmp_path / "base.jsonl", [1.0])
+        missing = tmp_path / "nope.jsonl"
+        assert main(["bench", "compare", str(base), str(missing)]) == 2
+        assert "bench compare" in capsys.readouterr().err
+
+    def test_threshold_flags_are_honoured(self, tmp_path, capsys):
+        base = _history(tmp_path / "base.jsonl", [1.0])
+        cur = _history(tmp_path / "cur.jsonl", [1.4])
+        # 40% over: passes the default 50% allowance ...
+        assert main(["bench", "compare", str(base), str(cur)]) == 0
+        capsys.readouterr()
+        # ... but fails a tightened one.
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    str(base),
+                    str(cur),
+                    "--max-slowdown",
+                    "0.2",
+                ]
+            )
+            == 1
+        )
+
+    def test_min_seconds_flag_gates(self, tmp_path, capsys):
+        base = _history(tmp_path / "base.jsonl", [0.5])
+        cur = _history(tmp_path / "cur.jsonl", [2.0])
+        assert main(["bench", "compare", str(base), str(cur)]) == 1
+        capsys.readouterr()
+        assert (
+            main(
+                ["bench", "compare", str(base), str(cur), "--min-seconds", "1.0"]
+            )
+            == 0
+        )
+        assert "no comparable stages" in capsys.readouterr().out
