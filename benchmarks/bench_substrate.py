@@ -1,0 +1,186 @@
+"""Benchmark: the shared prepare substrate vs per-session kernel rebuilds.
+
+What the substrate (:mod:`repro.substrate`) amortizes is the cost of
+turning a stored prepared state back into a *loop-ready* one — the
+packed dominance matrix, the literal-interning arenas, the token
+indexes.  Without sharing, every session (and historically every pool
+worker) rebuilt those from scratch; with it, the first session on a
+``(KB pair, config)`` key pays once and every later session adopts.
+
+``test_second_session_speedup`` times exactly that boundary for a
+*second* session on the same ``(KB pair, config)`` key, three ways:
+
+* **unshared** — private store, private substrate cache: the session
+  recomputes and re-packs everything (the fully isolated baseline);
+* **blob** — shared store, fresh substrate cache: a *new process*
+  loading the prepared state and adopting the persisted packed blob;
+* **hot** — shared store and same-process substrate cache: pointer
+  adoption from the live arena.
+
+The hot path must beat unshared by the ≥ 1.5x acceptance bar (and the
+cold-process blob path by ≥ 1.1x); the assertion self-gates the same
+way ``bench_prepare`` gates — when the unshared measurement is too
+small to time reliably (tiny CI smoke scales) the bar is skipped and
+only harness correctness is checked.
+Byte-identity is asserted in every mode, always: two concurrent shared
+sessions, an isolated unshared session, a ``REPRO_NO_ACCEL=1`` session,
+and a ``workers``-wide partitioned run all produce identical results.
+
+Scale knobs (environment):
+
+``REPRO_BENCH_SUBSTRATE_DATASET``  registry dataset (default dbpedia_yago)
+``REPRO_BENCH_SUBSTRATE_SCALE``    dataset scale (default 2.0)
+``REPRO_BENCH_WORKERS``            pool size for the partitioned case (default 4)
+
+Every sample lands in the unified ``BENCH_history.jsonl`` trajectory
+(:func:`repro.obs.append_bench_history`) that ``repro bench compare``
+diffs across CI runs.
+"""
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.accel.runtime import force_accel
+from repro.obs import append_bench_history
+from repro.service import MatchingService
+from repro.store import RunStore
+from repro.substrate import SubstrateCache
+
+DATASET = os.environ.get("REPRO_BENCH_SUBSTRATE_DATASET", "dbpedia_yago")
+SCALE = float(os.environ.get("REPRO_BENCH_SUBSTRATE_SCALE", "2.0"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+
+#: Unshared wall-clock below which a speedup ratio is noise, not signal.
+MIN_MEASURABLE_SECONDS = 1.0
+
+HOT_SPEEDUP_BAR = 1.5
+BLOB_SPEEDUP_BAR = 1.1
+
+
+def _service(store, cache=None):
+    # `is None`, not `or`: an *empty* SubstrateCache is falsy (len 0).
+    cache = SubstrateCache() if cache is None else cache
+    return MatchingService(store, substrate_cache=cache)
+
+
+def _loop_ready(path, cache=None):
+    """(seconds, vectors, packed) for one fresh session to reach a
+    loop-ready packed state.  ``gc.collect()`` first so earlier modes'
+    released states don't tax this one's allocations."""
+    gc.collect()
+    with _service(RunStore(path), cache) as service:
+        start = time.perf_counter()
+        state = service.prepared(DATASET, scale=SCALE)
+        packed = state.vector_index.packed()
+        elapsed = time.perf_counter() - start
+    return elapsed, state.vector_index.vectors, packed
+
+
+def test_second_session_speedup(tmp_path):
+    shared_path = tmp_path / "shared.db"
+    cache = SubstrateCache()
+    with _service(RunStore(shared_path), cache) as service:
+        start = time.perf_counter()
+        first = service.prepared(DATASET, scale=SCALE)
+        t_first = time.perf_counter() - start
+
+    # A cold process on the shared store (fresh arena cache, blob adopt),
+    # then a sibling session in this process (live arena, pointer adopt),
+    # then the fully isolated baseline (private store: full recompute).
+    t_blob, v_blob, _ = _loop_ready(shared_path)
+    t_hot, v_hot, p_hot = _loop_ready(shared_path, cache=cache)
+    t_unshared, v_unshared, _ = _loop_ready(tmp_path / "isolated.db")
+
+    # Harness correctness in every mode, regardless of timings.
+    assert v_blob == v_hot == v_unshared == first.vector_index.vectors
+    assert p_hot is first.vector_index._packed
+
+    blob_speedup = t_unshared / t_blob if t_blob else float("inf")
+    hot_speedup = t_unshared / t_hot if t_hot else float("inf")
+    print(
+        f"\n{DATASET} x{SCALE}: first session {t_first:.2f}s; second session "
+        f"loop-ready unshared {t_unshared:.2f}s, blob {t_blob:.2f}s "
+        f"({blob_speedup:.2f}x), hot {t_hot:.2f}s ({hot_speedup:.2f}x)"
+    )
+    append_bench_history(
+        "substrate",
+        meta={
+            "bench": "substrate",
+            "dataset": DATASET,
+            "scale": SCALE,
+            "blob_speedup": round(blob_speedup, 3),
+            "hot_speedup": round(hot_speedup, 3),
+        },
+        stages={
+            "substrate.first_session": t_first,
+            "substrate.second_unshared": t_unshared,
+            "substrate.second_blob": t_blob,
+            "substrate.second_hot": t_hot,
+        },
+    )
+    if t_unshared >= MIN_MEASURABLE_SECONDS:
+        assert hot_speedup >= HOT_SPEEDUP_BAR, (
+            f"expected >= {HOT_SPEEDUP_BAR}x via hot arena, measured {hot_speedup:.2f}x"
+        )
+        assert blob_speedup >= BLOB_SPEEDUP_BAR, (
+            f"expected >= {BLOB_SPEEDUP_BAR}x via store blob, measured {blob_speedup:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"unshared rebuild took {t_unshared:.3f}s "
+            f"(< {MIN_MEASURABLE_SECONDS}s); speedup bar needs a larger scale"
+        )
+
+
+def test_concurrent_sessions_identical_in_every_mode(tmp_path):
+    """Two shared sessions == isolated session == pure-Python session."""
+    cache = SubstrateCache()
+    shared_results = []
+    for name in ("a", "b"):
+        with _service(RunStore(tmp_path / f"{name}.db"), cache) as service:
+            shared_results.append(
+                service.result(service.submit(DATASET, scale=SCALE, background=False))
+            )
+    with _service(RunStore(tmp_path / "isolated.db")) as service:
+        isolated = service.result(
+            service.submit(DATASET, scale=SCALE, background=False)
+        )
+    with force_accel(False):
+        with _service(RunStore(tmp_path / "fallback.db")) as service:
+            fallback = service.result(
+                service.submit(DATASET, scale=SCALE, background=False)
+            )
+    for result in (*shared_results, fallback):
+        assert result.matches == isolated.matches
+        assert result.questions_asked == isolated.questions_asked
+        assert result.history == isolated.history
+
+
+def test_partitioned_pool_shares_the_parent_matrix(tmp_path):
+    """A ``workers``-wide run adopts the pre-forked pack — and matches."""
+    cache = SubstrateCache()
+    with _service(RunStore(tmp_path / "mono.db"), cache) as service:
+        mono = service.result(
+            service.submit("evolving", scale=1.0, background=False)
+        )
+    with _service(RunStore(tmp_path / "pool.db"), cache) as service:
+        start = time.perf_counter()
+        run_id = service.submit(
+            "evolving", scale=1.0, workers=WORKERS, background=False
+        )
+        pooled = service.result(run_id)
+        t_pool = time.perf_counter() - start
+        counters = service.store.load_run_obs(run_id)["metrics"]["counters"]
+    assert pooled.matches == mono.matches
+    assert pooled.questions_asked == mono.questions_asked
+    assert counters.get("substrate.worker.attach", 0) >= 1
+    assert "substrate.worker.base_unpacked" not in counters
+    print(f"\n{WORKERS}-worker partitioned run: {t_pool:.2f}s, no worker re-packed")
+    append_bench_history(
+        "substrate",
+        meta={"bench": "substrate", "workers": WORKERS},
+        stages={"substrate.pool": t_pool},
+    )

@@ -22,6 +22,9 @@ Top-level convenience re-exports; see the subpackages for the full API:
   :class:`~repro.stream.KBDelta` edits, closure-local re-preparation and
   a delta-aware run driver whose incremental results are byte-identical
   to from-scratch runs on the post-delta KBs
+* :mod:`repro.substrate` — the shared prepare substrate: one
+  content-addressed kernel arena per ``(KB pair, config)`` key, shared
+  across sessions, pool workers and stream steps
 """
 
 from repro.core import Remp, RempConfig
@@ -33,7 +36,7 @@ from repro.service import MatchingService
 from repro.store import RunStore
 from repro.stream import KBDelta
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Remp",

@@ -76,7 +76,6 @@ class LiteralScorer:
         "_token_ids",
         "_pair_sims",
         "_set_sims",
-        "_value_ids",
     )
 
     def __init__(self, threshold: float):
@@ -88,10 +87,6 @@ class LiteralScorer:
         self._token_ids: dict[str, int] = {}
         self._pair_sims: dict[tuple[int, int], float] = {}
         self._set_sims: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
-        # KB value sets are stable objects (one per entity/attribute), so
-        # their interned id tuples are memoized by object identity; the
-        # stored reference keeps the object alive, keeping ids unique.
-        self._value_ids: dict[int, tuple[object, tuple[int, ...]]] = {}
 
     # -- interning ------------------------------------------------------
     def intern(self, value: object) -> int:
@@ -145,13 +140,12 @@ class LiteralScorer:
         return sim
 
     def _intern_values(self, values: Collection[object]) -> tuple[int, ...]:
-        key = id(values)
-        entry = self._value_ids.get(key)
-        if entry is not None and entry[0] is values:
-            return entry[1]
-        ids = tuple(self.intern(v) for v in values)
-        self._value_ids[key] = (values, ids)
-        return ids
+        # Deliberately NOT memoized per collection object: an id()-keyed
+        # memo must hold a strong reference to stay sound (ids recycle),
+        # and that pins every KB a long-lived shared scorer ever saw.
+        # Interning is a dict probe per literal — cheap — and iterating
+        # the collection here mirrors the reference's per-call order.
+        return tuple(self.intern(v) for v in values)
 
     def set_similarity(
         self, values_a: Collection[object], values_b: Collection[object]

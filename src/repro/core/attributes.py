@@ -15,6 +15,7 @@ from repro.accel.literals import LiteralScorer
 from repro.accel.runtime import accel_enabled
 from repro.assignment import hungarian_max
 from repro.kb.model import LABEL_ATTRIBUTE, KnowledgeBase
+from repro.substrate import current_substrate
 from repro.text.literal import literal_set_similarity
 
 Pair = tuple[str, str]
@@ -43,7 +44,12 @@ def attribute_similarity_matrix(
     is excluded by default — it is handled by candidate generation.
     """
     if accel_enabled():
-        scorer = LiteralScorer(literal_threshold)
+        substrate = current_substrate()
+        scorer = (
+            substrate.scorer(literal_threshold)
+            if substrate is not None
+            else LiteralScorer(literal_threshold)
+        )
 
         def simL(values1, values2):
             return scorer.set_similarity(values1, values2)

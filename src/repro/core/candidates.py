@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.accel.runtime import TIMINGS
 from repro.kb.model import KnowledgeBase
+from repro.substrate import current_substrate
 from repro.text.normalize import normalize_label
 
 Pair = tuple[str, str]
@@ -75,8 +76,15 @@ def generate_candidates(
     without materializing a set intersection/union per candidate pair.
     """
     with TIMINGS.timed("candidates.token_index"):
-        tokens1, _ = _token_index(kb1)
-        tokens2, inverted2 = _token_index(kb2)
+        substrate = current_substrate()
+        if substrate is not None:
+            # Arena-memoized per KB side, keyed by KB identity — a
+            # different KB object (spliced, re-loaded) always rebuilds.
+            tokens1, _ = substrate.token_index(1, kb1, _token_index)
+            tokens2, inverted2 = substrate.token_index(2, kb2, _token_index)
+        else:
+            tokens1, _ = _token_index(kb1)
+            tokens2, inverted2 = _token_index(kb2)
 
     labels2: dict[str, set[str]] = {}
     for entity in kb2.entities:

@@ -17,6 +17,8 @@ from repro.accel.literals import LiteralScorer
 from repro.accel.runtime import TIMINGS, accel_enabled
 from repro.core.attributes import AttributeMatch
 from repro.kb.model import KnowledgeBase
+from repro.obs import runtime as obs
+from repro.substrate import current_substrate
 from repro.text.literal import literal_set_similarity
 
 Pair = tuple[str, str]
@@ -35,10 +37,17 @@ def build_similarity_vectors(
     With the accel layer on, literals are interned once and every
     distinct simL comparison is scored exactly once
     (:class:`repro.accel.LiteralScorer`) — same greedy matching, same
-    integer ratios, byte-identical components.
+    integer ratios, byte-identical components.  Under an activated
+    prepare substrate the scorer (and its interning caches) is shared
+    with every other pass over the same KB pair.
     """
     if accel_enabled():
-        scorer = LiteralScorer(literal_threshold)
+        substrate = current_substrate()
+        scorer = (
+            substrate.scorer(literal_threshold)
+            if substrate is not None
+            else LiteralScorer(literal_threshold)
+        )
 
         def simL(values1, values2):
             return scorer.set_similarity(values1, values2)
@@ -100,9 +109,15 @@ class VectorIndex:
             self.by_right.setdefault(pair[1], []).append(pair)
 
     def packed(self) -> PackedVectors:
-        """The index's vectors packed once for the dominance kernels."""
+        """The index's vectors packed once for the dominance kernels.
+
+        ``substrate.pack.builds`` counts actual packings: an index whose
+        matrix was adopted from the shared substrate (or shipped to a
+        pool worker pre-packed) never increments it.
+        """
         if self._packed is None:
             self._packed = PackedVectors(self.vectors)
+            obs.count("substrate.pack.builds")
         return self._packed
 
     def _block_ranks(self, side: int, entity: str) -> dict[Pair, int]:

@@ -30,12 +30,13 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import queue as queue_module
 import sys
 import traceback
 from dataclasses import dataclass, field, replace
 
-from repro.accel.runtime import TIMINGS
+from repro.accel.runtime import TIMINGS, accel_enabled
 from repro.core.config import RempConfig
 from repro.obs import runtime as obs
 from repro.obs.logging import get_logger
@@ -353,8 +354,11 @@ def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
 
     ``base_state`` and ``crowd`` arrive through the process arguments:
     free under the ``fork`` start method (copy-on-write memory), pickled
-    once per worker — never once per shard — under ``spawn``.
+    once per worker — never once per shard — under ``spawn`` (where the
+    packed dominance matrix travels as a shared-memory segment name, so
+    all workers map one physical copy).
     """
+    attached = False
     while True:
         task = task_queue.get()
         if task is None:
@@ -366,6 +370,17 @@ def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
             # — no snapshot/diff against the process-wide registry.
             scope = obs.RunScope(shard_id=task.shard.shard_id)
             with scope.activate():
+                if not attached:
+                    # Once per worker, on its first task's scope: the
+                    # substrate contract is that the parent pre-packed
+                    # the base state, so a worker that would have to
+                    # re-pack is a regression — base_unpacked flags it.
+                    attached = True
+                    obs.count("substrate.worker.attach")
+                    prepacked = base_state.vector_index._packed is not None
+                    if accel_enabled() and not prepacked:
+                        obs.count("substrate.worker.base_unpacked")
+                    obs.event("substrate.worker.attach", prepacked=prepacked)
                 outcome = _execute_shard(task, base_state, crowd, event_queue.put)
             outcome.timings = scope.timings.snapshot()
             outcome.spans = scope.tracer.spans()
@@ -511,6 +526,15 @@ class ParallelRunner:
             len(plan.isolated_shards),
             self.workers,
         )
+
+        if accel_enabled():
+            # Materialize the packed dominance matrix in the parent
+            # BEFORE any worker exists: forked workers then share the
+            # float64 pages copy-on-write (and spawn ships one
+            # shared-memory segment) instead of each shard's first
+            # min_rank call lazily re-packing a private copy per worker.
+            with TIMINGS.timed("partition.prepack"):
+                state.vector_index.packed()
 
         graph_shards = plan.graph_shards
         # Weight by loop pairs: rider isolated pairs can never consume a
@@ -707,12 +731,27 @@ class ParallelRunner:
         # plus the two queues.  Elsewhere (notably macOS, where fork is
         # advertised but unsafe) stay with the platform default — under
         # spawn the state is pickled once per worker via the process args.
-        if sys.platform.startswith("linux") and (
+        # REPRO_START_METHOD overrides the choice (tests pin ``spawn`` to
+        # exercise the shared-memory transport on Linux).
+        method = os.environ.get("REPRO_START_METHOD", "").strip().lower()
+        if method:
+            context = multiprocessing.get_context(method)
+        elif sys.platform.startswith("linux") and (
             "fork" in multiprocessing.get_all_start_methods()
         ):
             context = multiprocessing.get_context("fork")
         else:
             context = multiprocessing.get_context()
+        shared_packed = None
+        if context.get_start_method() != "fork":
+            packed = state.vector_index._packed
+            # Non-fork workers receive the state by pickle; exporting the
+            # packed matrix into shared memory first makes each worker's
+            # pickle carry a segment *name* instead of an n×d float64
+            # copy, and every worker maps the same physical pages.
+            if packed is not None and packed.export_shared():
+                shared_packed = packed
+                obs.count("substrate.shm.exported")
         task_queue = context.Queue()
         event_queue = context.Queue()
         pool_size = min(self.workers, len(tasks))
@@ -760,6 +799,9 @@ class ParallelRunner:
                     process.terminate()
             for process in processes:
                 process.join(timeout=10.0)
+            if shared_packed is not None:
+                # Workers have joined; nobody maps the segment any more.
+                shared_packed.release_shared()
         if failure is not None:
             shard_id, trace = failure
             phases = {task.shard.shard_id: task.shard.kind for task in tasks}

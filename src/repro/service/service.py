@@ -3,11 +3,15 @@
 :class:`MatchingService` multiplexes many Remp human–machine loops over
 one :class:`repro.store.RunStore`:
 
-* ``prepare()`` work is deduplicated through a two-level cache — an
-  in-process dictionary in front of the store's SQLite table — with one
-  lock per cache key, so concurrent submissions of the same
-  ``(dataset, seed, scale, config)`` compute the offline stages exactly
-  once and every other session blocks until the artifact is ready.
+* ``prepare()`` work is deduplicated through a two-level cache — a
+  size-capped in-process LRU in front of the store's SQLite table —
+  with one lock per cache key (pruned when its compute finishes), so
+  concurrent submissions of the same ``(dataset, seed, scale, config)``
+  compute the offline stages exactly once and every other session
+  blocks until the artifact is ready.  Computes run inside, and every
+  returned state is attached to, the key's shared kernel arena
+  (:mod:`repro.substrate`), so sessions on the same KB pair share one
+  literal-interning arena and one packed dominance matrix.
 * Each submitted run becomes a :class:`MatchingSession` with an explicit
   ``submit / step / status / result`` lifecycle.  Background sessions run
   on a thread pool; foreground sessions are advanced by calling
@@ -34,8 +38,9 @@ from __future__ import annotations
 import json
 import threading
 import traceback
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 
 from repro.accel.runtime import accel_enabled, stages_doc
 from repro.core import Remp, RempConfig
@@ -63,6 +68,7 @@ from repro.stream import (
     unit_record_from_doc,
     unit_record_to_doc,
 )
+from repro.substrate import SubstrateCache, shared_cache, substrate_key
 
 Pair = tuple[str, str]
 
@@ -564,6 +570,8 @@ class MatchingService:
         *,
         max_workers: int = 4,
         error_rate: float = 0.0,
+        memory_cache_size: int = 8,
+        substrate_cache: SubstrateCache | None = None,
     ):
         self._store = store if isinstance(store, RunStore) else RunStore(store)
         self._owns_store = not isinstance(store, RunStore)
@@ -573,12 +581,22 @@ class MatchingService:
         )
         self._sessions: dict[str, MatchingSession] = {}
         self._futures: dict[str, Future] = {}
-        self._memory_cache: dict[tuple, PreparedState] = {}
+        #: In-memory prepared-state LRU, size-capped at ``memory_cache_size``.
+        self._memory_cache: OrderedDict[tuple, PreparedState] = OrderedDict()
+        self._memory_cache_size = max(1, memory_cache_size)
+        #: Per-key compute locks; pruned as computes finish, so the dict
+        #: size is bounded by the number of *in-flight* prepares.
         self._key_locks: dict[tuple, threading.Lock] = {}
         self._lock = threading.Lock()
+        #: Shared kernel arenas (process-wide by default): every service
+        #: in the process converges on one arena per (KB pair, config).
+        self._substrate = (
+            substrate_cache if substrate_cache is not None else shared_cache()
+        )
         #: Prepared-state cache accounting (memory or store hits vs. computes).
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     # ------------------------------------------------------------------
     @property
@@ -599,6 +617,33 @@ class MatchingService:
     # ------------------------------------------------------------------
     # Prepared-state cache
     # ------------------------------------------------------------------
+    def _cache_get(self, key: tuple) -> PreparedState | None:
+        """LRU probe (caller holds ``self._lock``)."""
+        state = self._memory_cache.get(key)
+        if state is not None:
+            self._memory_cache.move_to_end(key)
+        return state
+
+    def _cache_put(self, key: tuple, state: PreparedState) -> None:
+        """LRU insert with size-cap eviction (caller holds ``self._lock``)."""
+        self._memory_cache[key] = state
+        self._memory_cache.move_to_end(key)
+        while len(self._memory_cache) > self._memory_cache_size:
+            self._memory_cache.popitem(last=False)
+            self.cache_evictions += 1
+            obs.count("prepared.cache.evictions")
+
+    def _attach_substrate(
+        self, state: PreparedState, config: RempConfig | None
+    ) -> PreparedState:
+        """Bind ``state`` to its shared kernel arena (no-op accel-off)."""
+        if not accel_enabled():
+            return state
+        arena = self._substrate.get_or_create(
+            substrate_key(state.kb1, state.kb2, config)
+        )
+        return arena.attach(state, store=self._store)
+
     def prepared(
         self,
         dataset: str,
@@ -608,43 +653,66 @@ class MatchingService:
     ) -> PreparedState:
         """The offline artifacts for a key, computed at most once.
 
-        Memory cache first, then the store; a miss runs ``Remp.prepare``
+        Memory LRU first, then the store; a miss runs ``Remp.prepare``
         under a per-key lock so concurrent sessions asking for the same
-        key wait for the one computation instead of repeating it.
+        key wait for the one computation instead of repeating it.  The
+        compute runs inside the key's shared substrate arena
+        (:mod:`repro.substrate`), and every state returned is attached
+        to it, so concurrent sessions on the same KB pair share one
+        literal-interning arena and one packed dominance matrix.
         """
         key = (dataset, seed, scale, config_hash(config))
         with self._lock:
-            state = self._memory_cache.get(key)
+            state = self._cache_get(key)
             if state is not None:
                 self.cache_hits += 1
                 obs.count("prepared.cache.hits")
                 return state
             key_lock = self._key_locks.setdefault(key, threading.Lock())
-        with key_lock:
-            with self._lock:
-                state = self._memory_cache.get(key)
+        try:
+            with key_lock:
+                with self._lock:
+                    state = self._cache_get(key)
+                    if state is not None:
+                        self.cache_hits += 1
+                        obs.count("prepared.cache.hits")
+                        return state
+                state = self._store.load_prepared(dataset, seed, scale, config)
                 if state is not None:
-                    self.cache_hits += 1
+                    state = self._attach_substrate(state, config)
+                    with self._lock:
+                        self.cache_hits += 1
+                        self._cache_put(key, state)
                     obs.count("prepared.cache.hits")
                     return state
-            state = self._store.load_prepared(dataset, seed, scale, config)
-            if state is not None:
+                bundle = load_dataset(dataset, seed=seed, scale=scale)
+                arena = None
+                if accel_enabled():
+                    arena = self._substrate.get_or_create(
+                        substrate_key(bundle.kb1, bundle.kb2, config)
+                    )
+                with arena.activation() if arena is not None else nullcontext():
+                    state = Remp(config or RempConfig(), seed=seed).prepare(
+                        bundle.kb1, bundle.kb2
+                    )
+                self._store.save_prepared(dataset, seed, scale, config, state)
+                if arena is not None:
+                    arena.attach(state, store=self._store)
                 with self._lock:
-                    self.cache_hits += 1
-                    self._memory_cache[key] = state
-                obs.count("prepared.cache.hits")
+                    self.cache_misses += 1
+                    self._cache_put(key, state)
+                obs.count("prepared.cache.misses")
+                log.info("prepared state computed for %s", key)
                 return state
-            bundle = load_dataset(dataset, seed=seed, scale=scale)
-            state = Remp(config or RempConfig(), seed=seed).prepare(
-                bundle.kb1, bundle.kb2
-            )
-            self._store.save_prepared(dataset, seed, scale, config, state)
+        finally:
+            # The per-key lock exists only to deduplicate in-flight
+            # computes; once any holder exits, waiters re-check the cache
+            # anyway, so the entry can go.  The identity guard keeps a
+            # straggler from deleting a *newer* lock created after an
+            # earlier prune.
             with self._lock:
-                self.cache_misses += 1
-                self._memory_cache[key] = state
-            obs.count("prepared.cache.misses")
-            log.info("prepared state computed for %s", key)
-            return state
+                if self._key_locks.get(key) is key_lock:
+                    del self._key_locks[key]
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -895,7 +963,7 @@ class MatchingService:
             )
         key = (f"fp:{record.kb_fingerprint}", record.seed, record.scale, config_hash(config))
         with self._lock:
-            state = self._memory_cache.get(key)
+            state = self._cache_get(key)
         if state is not None:
             return state
         state = self._store.load_prepared(
@@ -906,8 +974,9 @@ class MatchingService:
                 f"run {record.run_id!r}'s prepared state "
                 f"(fingerprint {record.kb_fingerprint}) is not in the store"
             )
+        state = self._attach_substrate(state, config)
         with self._lock:
-            self._memory_cache[key] = state
+            self._cache_put(key, state)
         return state
 
     def _stream_inputs(self, session: MatchingSession):
@@ -943,18 +1012,41 @@ class MatchingService:
             delta = KBDelta.from_doc(json.loads(delta_json))
         # The fingerprint guard already ran in update(); a resumed
         # session replays the recorded delta against the recorded state.
-        prepared = incremental_prepare(
-            parent_state, delta, config, check_fingerprint=False
-        )
+        # The splice runs inside the parent's arena so it reuses the
+        # parent's literal scorers; the spliced state then attaches to
+        # its own (derived) arena under the post-delta fingerprints.
+        parent_arena = None
+        if accel_enabled():
+            parent_key = parent_state.substrate_key
+            if parent_key is None:
+                parent_state = self._attach_substrate(parent_state, config)
+                parent_key = parent_state.substrate_key
+            if parent_key is not None:
+                parent_arena = self._substrate.get_or_create(parent_key)
+        with (
+            parent_arena.activation()
+            if parent_arena is not None
+            else nullcontext()
+        ):
+            prepared = incremental_prepare(
+                parent_state, delta, config, check_fingerprint=False
+            )
         self._store.set_run_fingerprint(session.run_id, prepared.fingerprint)
         fp_dataset = f"fp:{prepared.fingerprint}"
         self._store.save_prepared(
             fp_dataset, session.seed, session.scale, config, prepared.state
         )
+        if accel_enabled():
+            child = self._substrate.derive(
+                parent_arena,
+                substrate_key(prepared.state.kb1, prepared.state.kb2, config),
+            )
+            child.attach(prepared.state, store=self._store)
         with self._lock:
-            self._memory_cache[
-                (fp_dataset, session.seed, session.scale, config_hash(config))
-            ] = prepared.state
+            self._cache_put(
+                (fp_dataset, session.seed, session.scale, config_hash(config)),
+                prepared.state,
+            )
         reuse = {
             key: unit_record_from_doc(doc)
             for key, doc in self._store.load_unit_record_docs(

@@ -94,6 +94,13 @@ CREATE TABLE IF NOT EXISTS stream_units (
     updated_at TEXT NOT NULL,
     PRIMARY KEY (run_id, unit_key)
 );
+CREATE TABLE IF NOT EXISTS substrate_blobs (
+    key        TEXT PRIMARY KEY,
+    rows       INTEGER NOT NULL,
+    cols       INTEGER NOT NULL,
+    payload    BLOB NOT NULL,
+    created_at TEXT NOT NULL
+);
 CREATE TABLE IF NOT EXISTS run_timings (
     run_id     TEXT PRIMARY KEY,
     payload    TEXT NOT NULL,
@@ -274,6 +281,43 @@ class RunStore:
         """Drop every cached prepared state; returns the number removed."""
         with self._lock, self._conn:
             cursor = self._conn.execute("DELETE FROM prepared_states")
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Substrate blobs (repro.substrate packed dominance matrices)
+    # ------------------------------------------------------------------
+    def save_substrate_blob(
+        self, key: str, rows: int, cols: int, payload: bytes
+    ) -> None:
+        """Persist one packed float64 matrix (sorted-pair row order).
+
+        ``key`` is the flattened substrate key — KB-pair fingerprints
+        plus config hash — so the blob is valid for any equal-content
+        index and a fresh process skips the re-pack.
+        """
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO substrate_blobs"
+                " (key, rows, cols, payload, created_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (key, rows, cols, payload, _now()),
+            )
+
+    def load_substrate_blob(self, key: str) -> tuple[int, int, bytes] | None:
+        """``(rows, cols, payload)`` for a stored matrix, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT rows, cols, payload FROM substrate_blobs WHERE key = ?",
+                (key,),
+            ).fetchone()
+        if row is None:
+            return None
+        return int(row["rows"]), int(row["cols"]), bytes(row["payload"])
+
+    def clear_substrate_blobs(self) -> int:
+        """Drop every stored packed matrix; returns the number removed."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute("DELETE FROM substrate_blobs")
         return cursor.rowcount
 
     # ------------------------------------------------------------------
@@ -782,9 +826,13 @@ class RunStore:
             run_events = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM run_events"
             ).fetchone()["n"]
+            substrate_blobs = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM substrate_blobs"
+            ).fetchone()["n"]
         return {
             "path": self.path,
             "prepared_states": prepared,
+            "substrate_blobs": substrate_blobs,
             "runs": runs,
             "runs_by_status": by_status,
             "checkpoints": checkpoints,

@@ -1,0 +1,206 @@
+"""The prepare arena: shared kernels for one (KB pair, config) key.
+
+A :class:`PrepareSubstrate` is content-addressed — its key is
+``(kb_fingerprint(kb1), kb_fingerprint(kb2), config_hash(config))`` —
+so everything it caches is a pure function of the key:
+
+* per-threshold :class:`repro.accel.LiteralScorer` arenas (their caches
+  are content-addressed, so one scorer soundly serves every prepare,
+  attribute-matching round, and incremental splice over the pair);
+* the candidate-generation token indexes, keyed by KB *identity* (a
+  different KB object — e.g. a delta-spliced copy — always rebuilds, so
+  a stale index can never leak across stream steps);
+* the canonical :class:`repro.accel.dominance.PackedVectors` float64
+  matrix, adopted by every equal-content ``VectorIndex`` and optionally
+  persisted as a store blob so a fresh process skips the re-pack.
+
+Activation is scoped through a context variable:
+``arena.activation()`` makes :func:`current_substrate` return the arena
+for the duration (holding the arena lock, so concurrent passes over the
+same pair serialize instead of racing the plain-dict caches), and the
+prepare stages consult it.  When the accel layer is off
+(``REPRO_NO_ACCEL=1``) :func:`current_substrate` always returns ``None``
+and the pipeline takes the untouched reference path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import weakref
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.accel.dominance import PackedVectors
+from repro.accel.literals import LiteralScorer
+from repro.accel.runtime import accel_enabled
+from repro.kb.io import kb_to_doc
+from repro.kb.model import KnowledgeBase
+from repro.obs import runtime as obs
+from repro.obs.logging import get_logger
+
+#: A substrate key: (kb1 fingerprint, kb2 fingerprint, config hash).
+Key = tuple[str, str, str]
+
+log = get_logger("substrate")
+
+_ACTIVE: ContextVar["PrepareSubstrate | None"] = ContextVar(
+    "repro_substrate", default=None
+)
+
+
+def kb_fingerprint(kb: KnowledgeBase) -> str:
+    """Stable digest of one KB's *content* (entities + triples).
+
+    The single-KB analogue of :func:`repro.stream.kb_pair_fingerprint`:
+    equal KBs produce equal fingerprints regardless of insertion order
+    or mutation history.
+    """
+    blob = json.dumps(
+        kb_to_doc(kb), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def substrate_key(kb1: KnowledgeBase, kb2: KnowledgeBase, config=None) -> Key:
+    """The content address of the shared kernels for this pair + config."""
+    # Runtime import: the store's serializers import the core pipeline,
+    # which imports this package for current_substrate().
+    from repro.store.serialize import config_hash
+
+    return (kb_fingerprint(kb1), kb_fingerprint(kb2), config_hash(config))
+
+
+def current_substrate() -> "PrepareSubstrate | None":
+    """The arena activated for this context, or ``None`` (reference path)."""
+    if not accel_enabled():
+        return None
+    return _ACTIVE.get()
+
+
+class PrepareSubstrate:
+    """One shared kernel arena; see the module docstring."""
+
+    def __init__(self, key: Key):
+        self.key = key
+        self._lock = threading.RLock()
+        self._scorers: dict[float, LiteralScorer] = {}
+        self._token_indexes: dict[int, tuple[weakref.ref, object]] = {}
+        self._packed: PackedVectors | None = None
+        #: How many prepared states attached (diagnostics + bench).
+        self.attached = 0
+
+    @property
+    def key_str(self) -> str:
+        """The key flattened for store blobs and telemetry payloads."""
+        return ":".join(self.key)
+
+    # -- activation -----------------------------------------------------
+    @contextmanager
+    def activation(self):
+        """Make this arena :func:`current_substrate` for the duration.
+
+        The arena lock is held throughout: the scorer and token caches
+        are plain dicts, so two passes over the same pair serialize here
+        (one computes, the next reuses) rather than locking per literal.
+        """
+        with self._lock:
+            token = _ACTIVE.set(self)
+            try:
+                yield self
+            finally:
+                _ACTIVE.reset(token)
+
+    # -- shared kernels -------------------------------------------------
+    def scorer(self, threshold: float) -> LiteralScorer:
+        """The pair's literal-interning arena for ``threshold``."""
+        scorer = self._scorers.get(threshold)
+        if scorer is None:
+            scorer = self._scorers[threshold] = LiteralScorer(threshold)
+            obs.count("substrate.scorer.created")
+        else:
+            obs.count("substrate.scorer.reused")
+        return scorer
+
+    def token_index(self, side: int, kb: KnowledgeBase, builder):
+        """Memoized ``builder(kb)``, keyed by KB side *and identity*.
+
+        Identity keying (``is``, against a weak reference to the KB the
+        entry was built from) makes staleness impossible: a spliced or
+        re-loaded KB is a different object and rebuilds, replacing the
+        entry.  The reference is weak so a long-lived arena never pins a
+        dropped KB alive — a dead entry simply rebuilds.
+        """
+        entry = self._token_indexes.get(side)
+        if entry is not None and entry[0]() is kb:
+            obs.count("substrate.token_index.reused")
+            return entry[1]
+        result = builder(kb)
+        self._token_indexes[side] = (weakref.ref(kb), result)
+        return result
+
+    # -- packed matrix --------------------------------------------------
+    def attach(self, state, store=None):
+        """Bind a prepared state to this arena's canonical packed matrix.
+
+        The first attach registers (or builds, via a store blob when one
+        is available) the pair's ``PackedVectors``; later attaches of
+        equal-content states adopt it instead of re-packing, so every
+        session and pool worker on the key shares one float64 matrix.
+        Content equality is checked outright — a mismatch (a restricted
+        slice, a different pair under a colliding key) just re-packs.
+        Passthrough when the accel layer is off.
+        """
+        if not accel_enabled():
+            return state
+        index = state.vector_index
+        with self._lock:
+            packed = self._packed
+            if packed is not None and packed.same_content(index.vectors):
+                if index._packed is not packed:
+                    index._packed = packed
+                    obs.count("substrate.packed.adopted")
+            else:
+                loaded = False
+                if index._packed is None and store is not None:
+                    adopted = _packed_from_store(store, self.key_str, index.vectors)
+                    if adopted is not None:
+                        index._packed = adopted
+                        loaded = True
+                        obs.count("substrate.blob.loaded")
+                packed = index.packed()
+                if packed.available:
+                    self._packed = packed
+                    if store is not None and not loaded:
+                        _packed_to_store(store, self.key_str, packed)
+            self.attached += 1
+            sessions = self.attached
+        state.substrate_key = self.key
+        obs.event("substrate.attach", key=self.key_str, sessions=sessions)
+        return state
+
+
+def _packed_to_store(store, key: str, packed: PackedVectors) -> None:
+    """Best-effort persist of the canonical matrix (sorted-pair rows)."""
+    blob = packed.sorted_blob()
+    if blob is None:
+        return
+    rows, cols, payload = blob
+    try:
+        store.save_substrate_blob(key, rows, cols, payload)
+        obs.count("substrate.blob.saved")
+    except Exception:  # pragma: no cover - store closed / readonly
+        log.debug("substrate blob save failed for %s", key, exc_info=True)
+
+
+def _packed_from_store(store, key: str, vectors) -> PackedVectors | None:
+    """Rebuild the canonical matrix from a store blob, or ``None``."""
+    try:
+        blob = store.load_substrate_blob(key)
+    except Exception:  # pragma: no cover - store closed / readonly
+        return None
+    if blob is None:
+        return None
+    rows, cols, payload = blob
+    return PackedVectors.from_sorted_blob(vectors, rows, cols, payload)

@@ -1,0 +1,384 @@
+"""The shared prepare substrate: sharing, equivalence, and the leak fixes.
+
+Covers the :mod:`repro.substrate` contract end to end — concurrent
+sessions on one (KB pair, config) key share a single kernel arena and
+still produce results byte-identical to fully isolated runs, across
+monolithic / partitioned execution, both accel modes, spawn-started
+pools, kill-and-resume, and delta-stream derivation — plus gc-based
+regression tests for the two leaks the substrate work exposed
+(``MatchingService._key_locks`` and ``LiteralScorer`` value pinning).
+"""
+
+import gc
+import pickle
+import threading
+import weakref
+
+import pytest
+
+from repro.accel.dominance import PackedVectors
+from repro.accel.literals import LiteralScorer
+from repro.accel.runtime import force_accel, numpy_or_none
+from repro.core import Remp
+from repro.datasets import evolving_bundle
+from repro.kb.model import KnowledgeBase
+from repro.service import MatchingService
+from repro.store import RunStore
+from repro.substrate import (
+    PrepareSubstrate,
+    SubstrateCache,
+    current_substrate,
+    kb_fingerprint,
+    substrate_key,
+)
+
+
+def _service(store=":memory:", **kwargs):
+    """A service with a *private* substrate cache (isolated from the
+    process-wide singleton, so tests cannot contaminate each other)."""
+    kwargs.setdefault("substrate_cache", SubstrateCache())
+    return MatchingService(store, **kwargs)
+
+
+def _tiny_pair():
+    """A small fresh KB pair, never owned by any dataset cache."""
+    kb1 = KnowledgeBase("sub1")
+    kb2 = KnowledgeBase("sub2")
+    for i in range(4):
+        kb1.add_entity(f"a{i}", label=f"movie number {i}")
+        kb1.add_attribute_triple(f"a{i}", "year", 1990 + i)
+        kb2.add_entity(f"b{i}", label=f"movie number {i}")
+        kb2.add_attribute_triple(f"b{i}", "year", 1990 + i)
+    return kb1, kb2
+
+
+class TestFingerprints:
+    def test_kb_fingerprint_is_content_addressed(self):
+        kb1, _ = _tiny_pair()
+        again, _ = _tiny_pair()
+        assert kb_fingerprint(kb1) == kb_fingerprint(again)
+        again.add_entity("extra", label="something else")
+        assert kb_fingerprint(kb1) != kb_fingerprint(again)
+
+    def test_substrate_key_covers_config(self):
+        from repro.core import RempConfig
+
+        kb1, kb2 = _tiny_pair()
+        base = substrate_key(kb1, kb2, None)
+        assert base == substrate_key(kb1, kb2, RempConfig())
+        assert base != substrate_key(kb1, kb2, RempConfig(k=7))
+
+
+class TestArenaSharing:
+    def test_sessions_on_one_key_share_one_packed_matrix(self, tmp_path):
+        with force_accel(True), _service(RunStore(tmp_path / "s.db")) as service:
+            first = service.prepared("iimb", scale=0.2)
+            assert first.substrate_key is not None
+            # Evict the memory cache: the second request round-trips the
+            # store into a *distinct* state object on the same key.
+            service._memory_cache.clear()
+            second = service.prepared("iimb", scale=0.2)
+            assert second is not first
+            assert second.vector_index.vectors == first.vector_index.vectors
+            assert second.vector_index._packed is first.vector_index._packed
+            assert service._substrate.stats()["hits"] >= 1
+
+    def test_two_services_converge_on_shared_cache(self):
+        cache = SubstrateCache()
+        with force_accel(True):
+            with MatchingService(":memory:", substrate_cache=cache) as one:
+                state_a = one.prepared("iimb", scale=0.2)
+                result_a = one.result(one.submit("iimb", scale=0.2, background=False))
+            with MatchingService(":memory:", substrate_cache=cache) as two:
+                state_b = two.prepared("iimb", scale=0.2)
+                result_b = two.result(two.submit("iimb", scale=0.2, background=False))
+        assert state_b.vector_index._packed is state_a.vector_index._packed
+        assert len(cache) == 1
+        assert result_b.matches == result_a.matches
+        assert result_b.questions_asked == result_a.questions_asked
+
+    def test_concurrent_shared_sessions_match_isolated_runs(self):
+        with _service() as shared:
+            run_ids = [shared.submit("iimb", scale=0.2) for _ in range(2)]
+            shared_results = [shared.result(run_id) for run_id in run_ids]
+        isolated_results = []
+        for _ in range(2):
+            with _service() as isolated:
+                isolated_results.append(
+                    isolated.result(isolated.submit("iimb", scale=0.2, background=False))
+                )
+        for result in shared_results:
+            assert result.matches == isolated_results[0].matches
+            assert result.questions_asked == isolated_results[0].questions_asked
+            assert result.history == isolated_results[0].history
+        assert isolated_results[0].matches == isolated_results[1].matches
+
+    def test_no_accel_passthrough(self):
+        kb1, kb2 = _tiny_pair()
+        arena = PrepareSubstrate(substrate_key(kb1, kb2, None))
+        with force_accel(False):
+            with arena.activation():
+                assert current_substrate() is None
+            with _service() as service:
+                state = service.prepared("iimb", scale=0.2)
+                assert state.substrate_key is None
+                off = service.result(service.submit("iimb", scale=0.2, background=False))
+        with force_accel(True):
+            with _service() as service:
+                on = service.result(service.submit("iimb", scale=0.2, background=False))
+        assert off.matches == on.matches
+        assert off.questions_asked == on.questions_asked
+        with force_accel(True), arena.activation():
+            assert current_substrate() is arena
+
+    def test_kill_and_resume_keeps_shared_equivalence(self, tmp_path):
+        path = tmp_path / "store.db"
+        with _service(RunStore(path)) as service:
+            baseline = service.result(service.submit("iimb", scale=0.2, background=False))
+            run_id = service.submit("iimb", scale=0.2, background=False)
+            assert service.step(run_id)  # one loop, then the process "dies"
+        with _service(RunStore(path)) as service:  # fresh arena cache too
+            service.resume(run_id, background=False)
+            resumed = service.result(run_id)
+        assert resumed.matches == baseline.matches
+        assert resumed.questions_asked == baseline.questions_asked
+
+
+class TestWorkers:
+    def _counters(self, service, run_id):
+        doc = service.store.load_run_obs(run_id)
+        return doc["metrics"]["counters"]
+
+    def test_partitioned_run_matches_monolithic_and_never_repacks(self, tmp_path):
+        with force_accel(True), _service(RunStore(tmp_path / "a.db")) as service:
+            mono = service.result(service.submit("evolving", scale=0.4, background=False))
+        with force_accel(True), _service(RunStore(tmp_path / "b.db")) as service:
+            run_id = service.submit("evolving", scale=0.4, workers=4, background=False)
+            parallel = service.result(run_id)
+            counters = self._counters(service, run_id)
+        assert parallel.matches == mono.matches
+        assert parallel.questions_asked == mono.questions_asked
+        assert counters.get("substrate.worker.attach", 0) >= 1
+        # The parent pre-packed before the pool started, so no forked
+        # worker ever saw an unpacked base state.
+        assert "substrate.worker.base_unpacked" not in counters
+
+    def test_spawn_pool_ships_shared_memory_matrix(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        with force_accel(True), _service(RunStore(tmp_path / "spawn.db")) as service:
+            run_id = service.submit("evolving", scale=0.4, workers=2, background=False)
+            spawned = service.result(run_id)
+            counters = self._counters(service, run_id)
+        monkeypatch.delenv("REPRO_START_METHOD")
+        with force_accel(True), _service(RunStore(tmp_path / "fork.db")) as service:
+            forked = service.result(
+                service.submit("evolving", scale=0.4, workers=2, background=False)
+            )
+        assert spawned.matches == forked.matches
+        assert spawned.questions_asked == forked.questions_asked
+        if numpy_or_none() is not None:
+            assert counters.get("substrate.shm.exported", 0) >= 1
+        assert "substrate.worker.base_unpacked" not in counters
+
+
+class TestPackedSharing:
+    pairs = {("a", "x"): (1.0, 0.5), ("b", "y"): (0.5, 0.5), ("c", "z"): (0.0, 1.0)}
+
+    def test_pickle_round_trip(self):
+        with force_accel(True):
+            packed = PackedVectors(dict(self.pairs))
+            clone = pickle.loads(pickle.dumps(packed))
+            if packed.available:
+                assert clone.counts(list(self.pairs)) == packed.counts(list(self.pairs))
+            else:  # pragma: no cover - numpy-less environment
+                assert not clone.available
+
+    def test_shared_memory_export_round_trip(self):
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover
+            pytest.skip("requires numpy")
+        with force_accel(True):
+            packed = PackedVectors(dict(self.pairs))
+            assert packed.export_shared()
+            try:
+                clone = pickle.loads(pickle.dumps(packed))
+                assert np.array_equal(clone.matrix, packed.matrix)
+                assert clone.counts(list(self.pairs)) == packed.counts(list(self.pairs))
+                clone.matrix = None
+                clone._shm.close()
+                clone._shm = None
+            finally:
+                packed.release_shared()
+            # Releasing is idempotent and the exporter's matrix survives.
+            packed.release_shared()
+            assert packed.available
+
+    def test_sorted_blob_round_trip_and_mismatch(self):
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover
+            pytest.skip("requires numpy")
+        with force_accel(True):
+            packed = PackedVectors(dict(self.pairs))
+            rows, cols, payload = packed.sorted_blob()
+            rebuilt = PackedVectors.from_sorted_blob(dict(self.pairs), rows, cols, payload)
+            assert rebuilt.counts(list(self.pairs)) == packed.counts(list(self.pairs))
+            # A blob that does not fit the index is refused, not adopted.
+            assert PackedVectors.from_sorted_blob(dict(self.pairs), rows + 1, cols, payload) is None
+            wrong = {("a", "x"): (1.0,)}
+            assert PackedVectors.from_sorted_blob(wrong, rows, cols, payload) is None
+
+    def test_store_blob_survives_to_a_fresh_process(self, tmp_path):
+        """A second 'process' (fresh substrate cache) adopts the blob."""
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover
+            pytest.skip("requires numpy")
+        path = tmp_path / "blob.db"
+        with force_accel(True):
+            with _service(RunStore(path)) as service:
+                first = service.prepared("iimb", scale=0.2)
+                key = ":".join(first.substrate_key)
+                assert service.store.load_substrate_blob(key) is not None
+            with _service(RunStore(path)) as service:
+                second = service.prepared("iimb", scale=0.2)
+        assert second.vector_index._packed.available
+        assert np.array_equal(
+            second.vector_index._packed.matrix[
+                [second.vector_index._packed.row[p] for p in sorted(second.vector_index.vectors)]
+            ],
+            first.vector_index._packed.matrix[
+                [first.vector_index._packed.row[p] for p in sorted(first.vector_index.vectors)]
+            ],
+        )
+
+
+class TestStreamDerive:
+    def test_update_derives_child_arena_sharing_scorers(self, tmp_path):
+        evolving = evolving_bundle(seed=0, scale=0.4, steps=1)
+        cache = SubstrateCache()
+        with force_accel(True):
+            with MatchingService(
+                RunStore(tmp_path / "stream.db"), substrate_cache=cache
+            ) as service:
+                root = service.submit(
+                    "evolving", scale=0.4, stream=True, background=False
+                )
+                service.result(root)
+                updated = service.update(root, evolving.deltas[0], background=False)
+                service.result(updated)
+        arenas = list(cache._entries.values())
+        assert len(arenas) == 2
+        parent, child = arenas
+        shared_thresholds = set(parent._scorers) & set(child._scorers)
+        assert shared_thresholds
+        assert all(
+            parent._scorers[t] is child._scorers[t] for t in shared_thresholds
+        )
+
+    def test_stream_update_equivalent_to_isolated(self, tmp_path):
+        evolving = evolving_bundle(seed=0, scale=0.4, steps=1)
+        results = []
+        for name in ("shared", "isolated"):
+            with _service(RunStore(tmp_path / f"{name}.db")) as service:
+                root = service.submit(
+                    "evolving", scale=0.4, stream=True, background=False
+                )
+                service.result(root)
+                updated = service.update(root, evolving.deltas[0], background=False)
+                results.append(service.result(updated))
+        assert results[0].matches == results[1].matches
+        assert results[0].questions_asked == results[1].questions_asked
+
+
+class TestLeakFixes:
+    def test_key_locks_pruned_after_compute(self):
+        with _service() as service:
+            service.prepared("iimb", scale=0.2)
+            assert service._key_locks == {}
+            service.prepared("iimb", scale=0.2)  # cache hit: no lock at all
+            assert service._key_locks == {}
+
+    def test_key_locks_pruned_under_concurrency(self):
+        with _service() as service:
+            threads = [
+                threading.Thread(target=service.prepared, args=("iimb",), kwargs={"scale": 0.2})
+                for _ in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert service._key_locks == {}
+            assert service.cache_misses == 1
+
+    def test_memory_cache_is_a_bounded_lru(self):
+        with _service(memory_cache_size=2) as service:
+            for seed in (0, 1, 2):
+                service.prepared("iimb", seed=seed, scale=0.2)
+            assert len(service._memory_cache) == 2
+            assert service.cache_evictions == 1
+            # Seed 0 was evicted (LRU); seeds 1 and 2 are still hits.
+            hits_before = service.cache_hits
+            service.prepared("iimb", seed=2, scale=0.2)
+            assert service.cache_hits == hits_before + 1
+
+    def test_scorer_does_not_pin_value_collections(self):
+        class Values(list):
+            """Weakref-able stand-in for a KB value collection."""
+
+        scorer = LiteralScorer(0.9)
+        values = Values(["cradle rock", "1999"])
+        other = Values(["rock cradle"])
+        first = scorer.set_similarity(values, other)
+        ref = weakref.ref(values)
+        del values
+        gc.collect()
+        assert ref() is None
+        assert scorer.set_similarity(Values(["cradle rock", "1999"]), other) == first
+
+    def test_dropped_kb_collectable_while_arena_lives(self):
+        kb1, kb2 = _tiny_pair()
+        arena = PrepareSubstrate(substrate_key(kb1, kb2, None))
+        with force_accel(True):
+            with arena.activation():
+                state = Remp().prepare(kb1, kb2)
+            arena.attach(state)
+        assert arena._packed is not None or numpy_or_none() is None
+        ref1, ref2 = weakref.ref(kb1), weakref.ref(kb2)
+        del kb1, kb2, state
+        gc.collect()
+        # The arena (scorers, token indexes, packed matrix) lives on,
+        # yet holds no strong reference to either KB.
+        assert ref1() is None
+        assert ref2() is None
+        assert arena._scorers or arena._token_indexes
+
+
+class TestSubstrateCache:
+    def test_lru_eviction_and_stats(self):
+        cache = SubstrateCache(capacity=2)
+        keys = [(f"kb{i}", f"kb{i}'", "cfg") for i in range(3)]
+        first = cache.get_or_create(keys[0])
+        cache.get_or_create(keys[1])
+        assert cache.get_or_create(keys[0]) is first  # refreshes LRU slot
+        cache.get_or_create(keys[2])  # evicts keys[1]
+        stats = cache.stats()
+        assert stats == {
+            "entries": 2,
+            "capacity": 2,
+            "hits": 1,
+            "misses": 3,
+            "evictions": 1,
+        }
+        assert cache.get_or_create(keys[0]) is first
+
+    def test_derive_seeds_scorers_only(self):
+        cache = SubstrateCache()
+        parent = cache.get_or_create(("p", "p'", "cfg"))
+        scorer = parent.scorer(0.9)
+        child = cache.derive(parent, ("c", "c'", "cfg"))
+        assert child is not parent
+        assert child._scorers[0.9] is scorer
+        assert child._token_indexes == {}
+        assert child._packed is None
+        # Deriving onto the same key is a no-op identity.
+        assert cache.derive(parent, parent.key) is parent
