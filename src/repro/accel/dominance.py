@@ -197,8 +197,14 @@ class PackedVectors:
         """Rebuild a packing for ``vectors`` from a sorted-row blob.
 
         Returns ``None`` when NumPy is unavailable or the blob does not
-        fit the index (wrong pair count / vector width / byte length) —
-        the caller falls back to packing from the tuples.
+        fit the index — wrong pair count / vector width / byte length,
+        or rows whose floats disagree with the index's actual vectors
+        (a blob saved under a colliding key, since the store key
+        truncates the KB fingerprints to 64 bits).  The caller falls
+        back to packing from the tuples.  The row check is a strided
+        sample: full verification would cost exactly the re-pack the
+        blob exists to skip, while ~64 rows of a colliding pair's
+        matrix agreeing with this pair's by chance is negligible.
         """
         np = numpy_or_none()
         if np is None or not vectors:
@@ -206,13 +212,18 @@ class PackedVectors:
         width = len(next(iter(vectors.values())))
         if rows != len(vectors) or cols != width or len(payload) != rows * cols * 8:
             return None
+        order = sorted(vectors)
+        matrix = np.frombuffer(payload, dtype=np.float64).reshape(rows, cols)
+        stride = max(1, rows // 64)
+        for i in {*range(0, rows, stride), rows - 1}:
+            if tuple(matrix[i]) != tuple(vectors[order[i]]):
+                return None
         packed = cls.__new__(cls)
         packed._np = np
         packed._shm = None
         packed._vectors = vectors
-        packed.row = {pair: i for i, pair in enumerate(sorted(vectors))}
-        matrix = np.frombuffer(payload, dtype=np.float64)
-        packed.matrix = matrix.reshape(rows, cols).copy()
+        packed.row = {pair: i for i, pair in enumerate(order)}
+        packed.matrix = matrix.copy()
         return packed
 
     def export_shared(self) -> bool:

@@ -88,6 +88,27 @@ class LiteralScorer:
         self._pair_sims: dict[tuple[int, int], float] = {}
         self._set_sims: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
 
+    def snapshot(self) -> "LiteralScorer":
+        """An independent scorer seeded with this one's caches.
+
+        Arena derivation must not alias a scorer across arenas: each
+        arena serializes its passes under its *own* lock, so a scorer
+        shared by two arenas could be interned into by two threads at
+        once (``intern``'s check-then-append is not atomic).  The copy
+        is shallow — every cached payload (ids, tuples, floats) is
+        immutable — and the caller snapshots under the parent arena's
+        lock, so no pass is mutating these containers mid-copy.
+        """
+        clone = LiteralScorer(self.threshold)
+        clone._ids = dict(self._ids)
+        clone._numbers = list(self._numbers)
+        clone._tokens = list(self._tokens)
+        clone._raw = list(self._raw)
+        clone._token_ids = dict(self._token_ids)
+        clone._pair_sims = dict(self._pair_sims)
+        clone._set_sims = dict(self._set_sims)
+        return clone
+
     # -- interning ------------------------------------------------------
     def intern(self, value: object) -> int:
         # bool participates in the key: True == 1 would otherwise collide

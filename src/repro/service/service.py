@@ -1041,7 +1041,10 @@ class MatchingService:
                 parent_arena,
                 substrate_key(prepared.state.kb1, prepared.state.kb2, config),
             )
-            child.attach(prepared.state, store=self._store)
+            # persist=False: a delta step per stream update would
+            # otherwise append one full packed matrix to the store each
+            # time, with nothing ever reclaiming them.
+            child.attach(prepared.state, store=self._store, persist=False)
         with self._lock:
             self._cache_put(
                 (fp_dataset, session.seed, session.scale, config_hash(config)),

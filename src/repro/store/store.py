@@ -21,6 +21,7 @@ the service's worker threads; payloads are stable JSON documents from
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
 import threading
@@ -99,6 +100,7 @@ CREATE TABLE IF NOT EXISTS substrate_blobs (
     rows       INTEGER NOT NULL,
     cols       INTEGER NOT NULL,
     payload    BLOB NOT NULL,
+    digest     TEXT,
     created_at TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS run_timings (
@@ -134,6 +136,7 @@ _MIGRATIONS = (
     "ALTER TABLE runs ADD COLUMN delta_json TEXT",
     "ALTER TABLE runs ADD COLUMN stream_step INTEGER",
     "ALTER TABLE runs ADD COLUMN kb_fingerprint TEXT",
+    "ALTER TABLE substrate_blobs ADD COLUMN digest TEXT",
 )
 
 #: Run lifecycle states recorded in the ledger.
@@ -142,6 +145,11 @@ RUN_STATUSES = ("queued", "preparing", "running", "done", "failed")
 
 def _now() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _blob_digest(payload: bytes) -> str:
+    """Integrity digest stored (and checked) with each substrate blob."""
+    return hashlib.sha256(payload).hexdigest()
 
 
 @dataclass(slots=True)
@@ -293,26 +301,37 @@ class RunStore:
 
         ``key`` is the flattened substrate key — KB-pair fingerprints
         plus config hash — so the blob is valid for any equal-content
-        index and a fresh process skips the re-pack.
+        index and a fresh process skips the re-pack.  A payload digest
+        rides along and is verified on load, so a corrupt row degrades
+        to a re-pack instead of a silently wrong canonical matrix.
         """
         with self._lock, self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO substrate_blobs"
-                " (key, rows, cols, payload, created_at)"
-                " VALUES (?, ?, ?, ?, ?)",
-                (key, rows, cols, payload, _now()),
+                " (key, rows, cols, payload, digest, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (key, rows, cols, payload, _blob_digest(payload), _now()),
             )
 
     def load_substrate_blob(self, key: str) -> tuple[int, int, bytes] | None:
-        """``(rows, cols, payload)`` for a stored matrix, or ``None``."""
+        """``(rows, cols, payload)`` for a stored matrix, or ``None``.
+
+        A row whose payload fails its digest check — corruption, or a
+        pre-digest row from an older store — is treated as absent; the
+        caller re-packs (and re-saves, restoring the digest).
+        """
         with self._lock:
             row = self._conn.execute(
-                "SELECT rows, cols, payload FROM substrate_blobs WHERE key = ?",
+                "SELECT rows, cols, payload, digest FROM substrate_blobs"
+                " WHERE key = ?",
                 (key,),
             ).fetchone()
         if row is None:
             return None
-        return int(row["rows"]), int(row["cols"]), bytes(row["payload"])
+        payload = bytes(row["payload"])
+        if row["digest"] != _blob_digest(payload):
+            return None
+        return int(row["rows"]), int(row["cols"]), payload
 
     def clear_substrate_blobs(self) -> int:
         """Drop every stored packed matrix; returns the number removed."""

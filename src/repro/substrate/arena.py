@@ -141,7 +141,7 @@ class PrepareSubstrate:
         return result
 
     # -- packed matrix --------------------------------------------------
-    def attach(self, state, store=None):
+    def attach(self, state, store=None, persist=True):
         """Bind a prepared state to this arena's canonical packed matrix.
 
         The first attach registers (or builds, via a store blob when one
@@ -150,7 +150,11 @@ class PrepareSubstrate:
         session and pool worker on the key shares one float64 matrix.
         Content equality is checked outright — a mismatch (a restricted
         slice, a different pair under a colliding key) just re-packs.
-        Passthrough when the accel layer is off.
+        ``persist=False`` still *loads* a matching store blob but never
+        saves one — stream delta steps use it, since one full matrix per
+        delta step would grow ``substrate_blobs`` without bound and the
+        hot arena already covers same-process reuse.  Passthrough when
+        the accel layer is off.
         """
         if not accel_enabled():
             return state
@@ -172,7 +176,7 @@ class PrepareSubstrate:
                 packed = index.packed()
                 if packed.available:
                     self._packed = packed
-                    if store is not None and not loaded:
+                    if store is not None and not loaded and persist:
                         _packed_to_store(store, self.key_str, packed)
             self.attached += 1
             sessions = self.attached

@@ -11,9 +11,10 @@ Capacity is bounded: the least-recently-used arena is dropped past
 ``capacity`` entries (its kernels stay alive only while an attached
 prepared state still references them), counted by
 ``substrate.evictions``.  ``derive`` seeds a delta-spliced child pair's
-arena with the parent's literal scorers — their caches are
+arena with *copies* of the parent's literal scorers — their caches are
 content-addressed, so the child only pays for literals the delta
-introduced.
+introduced, while each arena keeps sole ownership of its (mutable)
+scorers.
 """
 
 from __future__ import annotations
@@ -68,8 +69,11 @@ class SubstrateCache:
 
         Only the literal scorers carry over — their interning caches are
         content-addressed and threshold-keyed, so reuse is sound for any
-        KB pair.  Token indexes and the packed matrix are pair-specific
-        and rebuilt by the child.
+        KB pair.  They carry over as *snapshots*, never aliases: the two
+        arenas have separate locks, so a scorer shared by both could be
+        mutated by a parent-activated session and a child-activated
+        stream step at once.  Token indexes and the packed matrix are
+        pair-specific and rebuilt by the child.
         """
         arena = self.get_or_create(key)
         if parent is None or parent.key == key:
@@ -77,7 +81,8 @@ class SubstrateCache:
         first, second = sorted((arena, parent), key=lambda a: a.key)
         with first._lock, second._lock:  # key-ordered: no AB/BA deadlock
             for threshold, scorer in parent._scorers.items():
-                arena._scorers.setdefault(threshold, scorer)
+                if threshold not in arena._scorers:
+                    arena._scorers[threshold] = scorer.snapshot()
         obs.count("substrate.derived")
         return arena
 

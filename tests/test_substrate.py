@@ -226,6 +226,43 @@ class TestPackedSharing:
             assert PackedVectors.from_sorted_blob(dict(self.pairs), rows + 1, cols, payload) is None
             wrong = {("a", "x"): (1.0,)}
             assert PackedVectors.from_sorted_blob(wrong, rows, cols, payload) is None
+            # Same shape but different floats — the key-collision case
+            # (store keys truncate KB fingerprints): the row spot-check
+            # refuses it instead of adopting a wrong canonical matrix.
+            collided = dict(self.pairs)
+            collided[("a", "x")] = (0.25, 0.75)
+            assert PackedVectors.from_sorted_blob(collided, rows, cols, payload) is None
+
+    def test_corrupt_store_blob_falls_back_to_repack(self, tmp_path):
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover
+            pytest.skip("requires numpy")
+        path = tmp_path / "blob.db"
+        with force_accel(True):
+            with _service(RunStore(path)) as service:
+                first = service.prepared("iimb", scale=0.2)
+                key = ":".join(first.substrate_key)
+                rows, cols, payload = service.store.load_substrate_blob(key)
+                bad = bytearray(payload)
+                bad[0] ^= 0xFF
+                with service.store._lock, service.store._conn:
+                    service.store._conn.execute(
+                        "UPDATE substrate_blobs SET payload = ? WHERE key = ?",
+                        (bytes(bad), key),
+                    )
+                # The digest check treats the corrupt row as absent.
+                assert service.store.load_substrate_blob(key) is None
+            with _service(RunStore(path)) as service:
+                second = service.prepared("iimb", scale=0.2)
+        # The fresh process re-packed from the tuples, not the bad blob.
+        packed = second.vector_index._packed
+        assert packed.available
+        assert np.array_equal(
+            packed.matrix[[packed.row[p] for p in sorted(second.vector_index.vectors)]],
+            first.vector_index._packed.matrix[
+                [first.vector_index._packed.row[p] for p in sorted(first.vector_index.vectors)]
+            ],
+        )
 
     def test_store_blob_survives_to_a_fresh_process(self, tmp_path):
         """A second 'process' (fresh substrate cache) adopts the blob."""
@@ -252,7 +289,7 @@ class TestPackedSharing:
 
 
 class TestStreamDerive:
-    def test_update_derives_child_arena_sharing_scorers(self, tmp_path):
+    def test_update_derives_child_arena_seeded_scorers(self, tmp_path):
         evolving = evolving_bundle(seed=0, scale=0.4, steps=1)
         cache = SubstrateCache()
         with force_accel(True):
@@ -270,9 +307,28 @@ class TestStreamDerive:
         parent, child = arenas
         shared_thresholds = set(parent._scorers) & set(child._scorers)
         assert shared_thresholds
-        assert all(
-            parent._scorers[t] is child._scorers[t] for t in shared_thresholds
-        )
+        for threshold in shared_thresholds:
+            # Seeded by snapshot: the child starts from the parent's
+            # interned literals but owns its own scorer object (the
+            # arenas lock independently, so aliasing would race).
+            assert parent._scorers[threshold] is not child._scorers[threshold]
+            assert set(parent._scorers[threshold]._ids) <= set(
+                child._scorers[threshold]._ids
+            )
+
+    def test_stream_updates_do_not_accumulate_store_blobs(self, tmp_path):
+        evolving = evolving_bundle(seed=0, scale=0.4, steps=2)
+        with force_accel(True), _service(RunStore(tmp_path / "s.db")) as service:
+            run = service.submit("evolving", scale=0.4, stream=True, background=False)
+            service.result(run)
+            before = service.store.stats()["substrate_blobs"]
+            for delta in evolving.deltas:
+                run = service.update(run, delta, background=False)
+                service.result(run)
+            after = service.store.stats()["substrate_blobs"]
+        # Delta steps reuse the hot arena; persisting one full packed
+        # matrix per step would grow the table with nothing evicting it.
+        assert after == before
 
     def test_stream_update_equivalent_to_isolated(self, tmp_path):
         evolving = evolving_bundle(seed=0, scale=0.4, steps=1)
@@ -371,13 +427,34 @@ class TestSubstrateCache:
         }
         assert cache.get_or_create(keys[0]) is first
 
-    def test_derive_seeds_scorers_only(self):
+    def test_derive_seeds_scorer_snapshots_only(self):
         cache = SubstrateCache()
         parent = cache.get_or_create(("p", "p'", "cfg"))
         scorer = parent.scorer(0.9)
+        sim = scorer.set_similarity(["cradle rock", "1999"], ["rock cradle"])
         child = cache.derive(parent, ("c", "c'", "cfg"))
         assert child is not parent
-        assert child._scorers[0.9] is scorer
+        seeded = child._scorers[0.9]
+        # A snapshot, never an alias: the arenas have separate locks, so
+        # a shared mutable scorer could be interned into concurrently.
+        assert seeded is not scorer
+        for attr in (
+            "_ids",
+            "_numbers",
+            "_tokens",
+            "_raw",
+            "_token_ids",
+            "_pair_sims",
+            "_set_sims",
+        ):
+            assert getattr(seeded, attr) is not getattr(scorer, attr)
+        # The snapshot carries the parent's caches (same answers) but
+        # mutates independently afterwards.
+        assert seeded.threshold == scorer.threshold
+        assert seeded._ids == scorer._ids
+        assert seeded.set_similarity(["cradle rock", "1999"], ["rock cradle"]) == sim
+        seeded.intern("only in child")
+        assert (False, "only in child") not in scorer._ids
         assert child._token_indexes == {}
         assert child._packed is None
         # Deriving onto the same key is a no-op identity.
