@@ -36,7 +36,7 @@ from repro.service import MatchingService
 from repro.store import RunStore
 from repro.stream import KBDelta
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Remp",

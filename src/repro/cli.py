@@ -62,6 +62,7 @@ from repro.obs import export_run_artifacts
 from repro.partition import (
     CrowdSpec,
     ParallelRunner,
+    PartialResult,
     ShardProgressPrinter,
     partition_state,
 )
@@ -100,6 +101,10 @@ def _apply_accel_flag(args: argparse.Namespace) -> None:
         os.environ["REPRO_NO_ACCEL"] = "1"
     if getattr(args, "profile", False):
         os.environ["REPRO_PROFILE"] = "1"
+    if getattr(args, "faults", None):
+        # A fault plan rides the environment so spawn-started shard
+        # workers re-create it too; the value is JSON or @path-to-json.
+        os.environ["REPRO_FAULTS"] = args.faults
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -198,6 +203,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         try:
             result = runner.run(state, crowd)
+        except PartialResult as exc:
+            # Graceful degradation: report the quarantined shards and
+            # the merged healthy result instead of a traceback.
+            print(f"run: degraded: {exc}", file=sys.stderr)
+            _print_run_summary(exc.result, bundle.gold_matches)
+            return 1
         finally:
             progress.close()
         _print_run_summary(result, bundle.gold_matches)
@@ -263,6 +274,18 @@ def _run_via_service(args: argparse.Namespace, config: RempConfig) -> int:
             dataset, seed, scale = args.dataset, args.seed, args.scale
         try:
             result = service.result(run_id)
+        except PartialResult as exc:
+            # Graceful degradation: the ledger already recorded the run
+            # as failed with the quarantined shards; show the merged
+            # healthy remainder instead of a traceback.
+            print(f"run: degraded: {exc}", file=sys.stderr)
+            record = service.store.get_run(run_id)
+            if record is not None and record.streaming:
+                gold = service.stream_truth(run_id)
+            else:
+                gold = load_dataset(dataset, seed=seed, scale=scale).gold_matches
+            _print_run_summary(exc.result, gold, run_id=run_id)
+            return 1
         finally:
             if progress is not None:
                 progress.close()
@@ -755,6 +778,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample wall-clock stacks during the run (REPRO_PROFILE=1);"
         " with --store the folded stacks land in the run's artifacts",
     )
+    p_run.add_argument(
+        "--faults", default=None, metavar="JSON_OR_@FILE",
+        help="activate a deterministic fault plan (repro.faults) for the"
+        " run: inline JSON or @path/to/plan.json (sets REPRO_FAULTS)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_update = sub.add_parser(
@@ -770,6 +798,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_update.add_argument(
         "--no-accel", action="store_true", dest="no_accel",
         help="disable the vectorized/incremental kernels (repro.accel)",
+    )
+    p_update.add_argument(
+        "--faults", default=None, metavar="JSON_OR_@FILE",
+        help="activate a deterministic fault plan (repro.faults) for the"
+        " update: inline JSON or @path/to/plan.json (sets REPRO_FAULTS)",
     )
     p_update.set_defaults(func=_cmd_update)
 
@@ -952,7 +985,8 @@ def main(argv: list[str] | None = None) -> int:
     # invoke main() repeatedly without one command's flag leaking into
     # the next.
     previous = {
-        name: os.environ.get(name) for name in ("REPRO_NO_ACCEL", "REPRO_PROFILE")
+        name: os.environ.get(name)
+        for name in ("REPRO_NO_ACCEL", "REPRO_PROFILE", "REPRO_FAULTS")
     }
     try:
         return args.func(args)

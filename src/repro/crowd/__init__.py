@@ -10,6 +10,15 @@ cost accounting.
 """
 
 from repro.crowd.worker import Oracle, SimulatedWorker, Worker
+from repro.crowd.interfaces import CrowdRetryPolicy, CrowdUnavailableError
 from repro.crowd.platform import CrowdPlatform, LabelRecord
 
-__all__ = ["Worker", "SimulatedWorker", "Oracle", "CrowdPlatform", "LabelRecord"]
+__all__ = [
+    "Worker",
+    "SimulatedWorker",
+    "Oracle",
+    "CrowdPlatform",
+    "LabelRecord",
+    "CrowdRetryPolicy",
+    "CrowdUnavailableError",
+]

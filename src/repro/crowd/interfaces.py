@@ -25,6 +25,39 @@ from dataclasses import dataclass, field
 Pair = tuple[str, str]
 
 
+class CrowdUnavailableError(RuntimeError):
+    """Raised when a platform keeps failing past its retry budget."""
+
+
+@dataclass(frozen=True, slots=True)
+class CrowdRetryPolicy:
+    """How a platform reacts to slow or failing label collection.
+
+    ``attempts`` bounds how often one question is retried before
+    :class:`CrowdUnavailableError` propagates; ``backoff`` is the base of
+    the exponential sleep between attempts; answers slower than
+    ``slow_threshold`` seconds count as degraded (``crowd.slow``).
+    Retries never re-bill: labels are generated deterministically and
+    cached only after a successful attempt, so ``questions_asked`` counts
+    each distinct question exactly once no matter how many attempts it
+    took.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.05
+    slow_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be positive")
+        if self.backoff < 0 or self.slow_threshold < 0:
+            raise ValueError("backoff and slow_threshold must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        return self.backoff * (2**attempt)
+
+
 @dataclass(frozen=True, slots=True)
 class MultiItemQuestion:
     """One multi-item task: a small set of entities to be grouped."""

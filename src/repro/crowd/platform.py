@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import hashlib
 import random
+import time
 from dataclasses import dataclass
 
+from repro import faults
+from repro.crowd.interfaces import CrowdRetryPolicy, CrowdUnavailableError
 from repro.crowd.worker import Oracle, SimulatedWorker, Worker
 
 Question = tuple[str, str]
@@ -56,6 +59,10 @@ class CrowdPlatform:
         Redundancy level (the paper uses 5).
     seed:
         Seed for worker assignment.
+    retry_policy:
+        Timeout/retry behaviour for label collection; the default retries
+        a failing platform a couple of times with exponential backoff
+        before raising :class:`CrowdUnavailableError`.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class CrowdPlatform:
         truth: set[Question],
         workers_per_question: int = 5,
         seed: int = 0,
+        retry_policy: CrowdRetryPolicy | None = None,
     ):
         if not workers:
             raise ValueError("worker pool must not be empty")
@@ -73,6 +81,7 @@ class CrowdPlatform:
         self.truth = truth
         self.workers_per_question = min(workers_per_question, len(self.workers))
         self._seed = seed
+        self.retry_policy = retry_policy or CrowdRetryPolicy()
         self._label_cache: dict[Question, list[LabelRecord]] = {}
         #: Total number of distinct questions ever published (billing unit).
         self.questions_asked = 0
@@ -80,20 +89,12 @@ class CrowdPlatform:
         self.labels_collected = 0
 
     # ------------------------------------------------------------------
-    def ask(self, question: Question) -> list[LabelRecord]:
-        """Publish ``question``; return its (possibly cached) labels.
-
-        The first time a question is asked it is billed and assigned to
-        ``workers_per_question`` distinct workers; subsequent asks reuse the
-        recorded labels at no cost.
-        """
-        cached = self._label_cache.get(question)
-        if cached is not None:
-            return cached
+    def _generate_labels(self, question: Question) -> list[LabelRecord]:
+        """One attempt at collecting labels — a pure function of the seed."""
         truth = question in self.truth
         rng = random.Random(_question_seed(self._seed, question))
         assigned = rng.sample(self.workers, self.workers_per_question)
-        records = [
+        return [
             LabelRecord(
                 question,
                 w.worker_id,
@@ -102,6 +103,50 @@ class CrowdPlatform:
             )
             for w in assigned
         ]
+
+    def _labels_with_retry(self, question: Question) -> list[LabelRecord]:
+        """Collect labels under the retry policy.
+
+        Each attempt probes the ``crowd.answer`` fault site, so an
+        injected platform failure exercises exactly this path.  Label
+        generation is deterministic, so a retry reproduces the labels the
+        failed attempt would have returned — recovery never changes
+        answers, only latency.
+        """
+        from repro import obs
+
+        policy = self.retry_policy
+        last_error: Exception | None = None
+        for attempt in range(policy.attempts):
+            started = time.perf_counter()
+            try:
+                faults.check("crowd.answer", question=question, attempt=attempt)
+                records = self._generate_labels(question)
+            except faults.InjectedFault as exc:
+                last_error = exc
+                obs.count("crowd.retry")
+                if attempt + 1 < policy.attempts:
+                    time.sleep(policy.delay(attempt))
+                continue
+            if time.perf_counter() - started >= policy.slow_threshold:
+                obs.count("crowd.slow")
+            return records
+        raise CrowdUnavailableError(
+            f"crowd platform failed {policy.attempts} attempts for {question!r}"
+        ) from last_error
+
+    def ask(self, question: Question) -> list[LabelRecord]:
+        """Publish ``question``; return its (possibly cached) labels.
+
+        The first time a question is asked it is billed and assigned to
+        ``workers_per_question`` distinct workers; subsequent asks reuse the
+        recorded labels at no cost.  Recorded answers are never re-billed
+        on retry: billing happens only after a successful collection.
+        """
+        cached = self._label_cache.get(question)
+        if cached is not None:
+            return cached
+        records = self._labels_with_retry(question)
         self._label_cache[question] = records
         self.questions_asked += 1
         self.labels_collected += len(records)

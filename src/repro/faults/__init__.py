@@ -1,0 +1,23 @@
+"""repro.faults — deterministic fault injection for the execution layers.
+
+Faults fire only at explicit :func:`check` probes, selected by a
+:class:`FaultPlan` activated programmatically or via ``REPRO_FAULTS``;
+see ``docs/robustness.md`` for the site catalogue and semantics.
+"""
+
+from .plan import FAULT_ACTIONS, FAULT_SITES, FaultPlan, FaultRule, InjectedFault
+from .runtime import ENV_VAR, activate, check, current_plan, disabled, parse_plan
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "ENV_VAR",
+    "activate",
+    "check",
+    "current_plan",
+    "disabled",
+    "parse_plan",
+]

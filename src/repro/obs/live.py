@@ -34,7 +34,7 @@ log = get_logger("obs.live")
 
 #: Event kinds that mean a shard will do no further work (mirrors
 #: :mod:`repro.partition.progress`).
-SHARD_TERMINAL = ("finished", "restored", "failed")
+SHARD_TERMINAL = ("finished", "restored", "failed", "quarantined")
 
 #: Event field names persisted as dedicated ``run_events`` columns.
 _COLUMN_FIELDS = ("run_id", "ts", "kind", "shard_id", "stream_step")

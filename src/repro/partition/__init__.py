@@ -28,6 +28,7 @@ from repro.partition.progress import ShardProgressPrinter
 from repro.partition.runner import (
     CrowdSpec,
     ParallelRunner,
+    PartialResult,
     ShardEvent,
     UnitRecord,
     content_seed,
@@ -41,6 +42,7 @@ __all__ = [
     "DEFAULT_TARGET_SHARDS",
     "CrowdSpec",
     "ParallelRunner",
+    "PartialResult",
     "PartitionPlan",
     "Shard",
     "ShardEvent",

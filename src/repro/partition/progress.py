@@ -16,7 +16,7 @@ from typing import TextIO
 from repro.partition.runner import ShardEvent
 
 #: Event kinds that mean a shard will do no further work.
-_TERMINAL = ("finished", "restored", "failed")
+_TERMINAL = ("finished", "restored", "failed", "quarantined")
 
 
 class ShardProgressPrinter:
@@ -77,6 +77,9 @@ class ShardProgressPrinter:
         failed = sum(1 for s in self._status.values() if s == "failed")
         if failed:
             parts.append(f"{failed} FAILED")
+        quarantined = sum(1 for s in self._status.values() if s == "quarantined")
+        if quarantined:
+            parts.append(f"{quarantined} QUARANTINED")
         parts.append(f"questions {sum(self._questions.values())}")
         if self._matches:
             parts.append(f"matches {sum(self._matches.values())}")

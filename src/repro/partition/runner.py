@@ -30,12 +30,15 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import multiprocessing.connection
 import os
-import queue as queue_module
+import random
 import sys
+import time
 import traceback
 from dataclasses import dataclass, field, replace
 
+from repro import faults
 from repro.accel.runtime import TIMINGS, accel_enabled
 from repro.core.config import RempConfig
 from repro.obs import runtime as obs
@@ -48,6 +51,7 @@ from repro.core.pipeline import (
     assemble_result,
     merge_loop_snapshots,
 )
+from repro.crowd.interfaces import CrowdUnavailableError
 from repro.crowd.platform import CrowdPlatform
 from repro.partition.partitioner import (
     DEFAULT_TARGET_SHARDS,
@@ -60,6 +64,27 @@ from repro.partition.partitioner import (
 Pair = tuple[str, str]
 
 log = get_logger("partition")
+
+
+class PartialResult(RuntimeError):
+    """A degraded partitioned run: some shards were quarantined.
+
+    Raised instead of a blanket ``RuntimeError`` when one or more poison
+    shards exhausted their retry budget while the remaining shards
+    completed.  ``result`` merges every healthy shard's outcome;
+    ``quarantined`` lists one dict per abandoned shard (``shard_id``,
+    ``kind``, ``attempts``, ``error``).  Being a ``RuntimeError`` keeps
+    callers that only catch the blanket failure working unchanged.
+    """
+
+    def __init__(self, result: "RempResult", quarantined: list[dict]):
+        ids = ", ".join(str(entry["shard_id"]) for entry in quarantined)
+        super().__init__(
+            f"partitioned run degraded: {len(quarantined)} shard(s)"
+            f" quarantined after retries: [{ids}]"
+        )
+        self.result = result
+        self.quarantined = quarantined
 
 
 def shard_seed(seed: int, shard_id: int) -> int:
@@ -137,12 +162,16 @@ class ShardEvent:
     """One lifecycle/progress notification from a shard execution."""
 
     shard_id: int
-    kind: str  # "started" | "checkpointed" | "finished" | "restored" | "failed"
+    #: "started" | "checkpointed" | "finished" | "restored" | "failed"
+    #: | "retried" | "quarantined"
+    kind: str
     phase: str  # "graph" | "isolated"
     pairs: int = 0
     loops: int = 0
     questions: int = 0
     matches: int = 0
+    #: Execution attempt the event belongs to (retry/quarantine kinds).
+    attempt: int = 0
 
 
 def split_budget(total: int | None, weights: list[int]) -> list[int | None]:
@@ -184,6 +213,10 @@ class _ShardTask:
     platform_seed: int | None = None
     #: Restrict the slice's candidate set to the shard's entities.
     localize: bool = False
+    #: Execution attempt, bumped by the supervisor on every requeue.  The
+    #: fault plane's ``where`` filters key on it, so cross-process rules
+    #: stay deterministic even though spawn workers hold fresh counters.
+    attempt: int = 0
 
 
 @dataclass(slots=True)
@@ -278,6 +311,16 @@ def _run_shard(
             platform.load_answer_log(resume.answer_log)
 
         def on_checkpoint(checkpoint: LoopCheckpoint) -> None:
+            # Probe BEFORE the checkpoint ships: a mid-shard kill here
+            # loses the round, and the retry must reproduce it exactly
+            # from the previous checkpoint (labels are a pure function
+            # of the platform seed, so it does).
+            faults.check(
+                "worker.mid_shard",
+                shard_id=shard.shard_id,
+                attempt=task.attempt,
+                loop=checkpoint.next_loop_index,
+            )
             emit(("checkpoint", shard.shard_id, checkpoint))
             emit(
                 (
@@ -349,18 +392,41 @@ def _run_shard(
     return outcome
 
 
-def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
-    """Pool worker: execute shard tasks until the ``None`` sentinel.
+def _worker_main(base_state, crowd, conn, worker_index=0) -> None:
+    """Pool worker: execute assigned shard tasks until the ``None`` sentinel.
 
     ``base_state`` and ``crowd`` arrive through the process arguments:
     free under the ``fork`` start method (copy-on-write memory), pickled
     once per worker — never once per shard — under ``spawn`` (where the
     packed dominance matrix travels as a shared-memory segment name, so
     all workers map one physical copy).
+
+    ``conn`` is this worker's *private* duplex pipe to the supervisor.
+    A per-worker pipe — instead of one shared event queue — is what
+    makes the pool kill-safe: a shared ``multiprocessing.Queue`` guards
+    its write end with a cross-process lock, so a worker SIGKILLed while
+    its feeder thread holds that lock wedges every other worker's sends
+    forever.  Here each pipe has exactly one writer, writing
+    synchronously from the worker's only thread, so a kill can never
+    strand a lock — the supervisor just sees a dead process and a closed
+    pipe.
     """
+    try:
+        faults.check("worker.start", worker=worker_index)
+    except faults.InjectedFault:
+        # An injected startup failure: die quietly with a nonzero exit
+        # code, exactly like a worker whose interpreter never came up.
+        sys.exit(1)
+    # The readiness handshake: the supervisor assigns tasks only to
+    # workers that survived startup, so a stillborn worker never burns a
+    # shard's retry budget.
+    conn.send(("ready", worker_index))
     attached = False
     while True:
-        task = task_queue.get()
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor vanished; nothing sane left to do
         if task is None:
             return
         try:
@@ -381,15 +447,30 @@ def _worker_main(base_state, crowd, task_queue, event_queue) -> None:
                     if accel_enabled() and not prepacked:
                         obs.count("substrate.worker.base_unpacked")
                     obs.event("substrate.worker.attach", prepacked=prepacked)
-                outcome = _execute_shard(task, base_state, crowd, event_queue.put)
+                outcome = _execute_shard(task, base_state, crowd, conn.send)
             outcome.timings = scope.timings.snapshot()
             outcome.spans = scope.tracer.spans()
             outcome.metrics = scope.metrics.as_doc()
             if scope.profiler is not None and scope.profiler.samples:
                 outcome.profile = scope.profiler.as_doc()
-            event_queue.put(("done", task.shard.shard_id, outcome))
+            conn.send(("done", task.shard.shard_id, outcome))
         except Exception:
-            event_queue.put(("error", task.shard.shard_id, traceback.format_exc()))
+            conn.send(("error", task.shard.shard_id, traceback.format_exc()))
+
+
+@dataclass(slots=True)
+class _PoolWorker:
+    """The supervisor's view of one pool worker."""
+
+    process: object
+    conn: object  # parent end of the worker's private pipe
+    index: int
+    #: Task currently assigned to this worker (``None`` = idle).  The
+    #: supervisor — not the worker — is the source of truth for what to
+    #: requeue when the process dies.
+    task: _ShardTask | None = None
+    #: Whether the readiness handshake arrived (assignable).
+    ready: bool = False
 
 
 def merge_shard_results(results: list[tuple[int, RempResult]]) -> RempResult:
@@ -464,6 +545,8 @@ class ParallelRunner:
         dirty: set[Pair] | None = None,
         reuse: dict[str, UnitRecord] | None = None,
         collect_records: bool = False,
+        max_shard_retries: int | None = None,
+        lease_ttl: float | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -499,6 +582,25 @@ class ParallelRunner:
         #: disjoint pair sets, so the item questions sum to the merged
         #: result's ``questions_asked`` exactly.
         self.shard_costs: list[dict] = []
+        #: How often a failing shard is requeued before quarantine.
+        self.max_shard_retries = (
+            max_shard_retries
+            if max_shard_retries is not None
+            else max(0, int(os.environ.get("REPRO_SHARD_RETRIES", "2")))
+        )
+        #: Lease duration the supervisor grants per claimed shard.
+        self._lease_ttl = (
+            lease_ttl
+            if lease_ttl is not None
+            else float(os.environ.get("REPRO_SHARD_LEASE_TTL", "30"))
+        )
+        #: Quarantine records of the last :meth:`run` (poison shards).
+        self.quarantined: list[dict] = []
+        #: Latest checkpoint seen per shard — the requeue resume point.
+        self._last_checkpoints: dict[int, LoopCheckpoint] = {}
+        #: Current lease owner per claimed shard (heartbeat identity).
+        self._lease_owners: dict[int, str] = {}
+        self._backoff_rng = random.Random(0xFA17)  # never the global RNG
 
     # ------------------------------------------------------------------
     def plan(self, state: PreparedState) -> PartitionPlan:
@@ -518,6 +620,9 @@ class ParallelRunner:
         self.unit_records = {}
         self.reused_keys = set()
         self.shard_costs = []
+        self.quarantined = []
+        self._last_checkpoints = {}
+        self._lease_owners = {}
         keys = self._shard_keys(plan)
         obs.gauge("partition.shards", len(plan.shards))
         log.info(
@@ -556,6 +661,11 @@ class ParallelRunner:
                 task.checkpoint = record[1]
             tasks.append(task)
         self._execute(tasks, state, crowd, outcomes)
+        if self.quarantined:
+            # A quarantined graph shard means the merged snapshot would
+            # be missing training data — degrade now rather than let the
+            # isolated phase classify against partial resolutions.
+            self._raise_partial(outcomes)
 
         merged_snapshot = merge_loop_snapshots(
             state,
@@ -572,6 +682,8 @@ class ParallelRunner:
                 task.merged_snapshot = merged_snapshot
                 isolated_tasks.append(task)
         self._execute(isolated_tasks, state, crowd, outcomes)
+        if self.quarantined:
+            self._raise_partial(outcomes)
 
         if self._collect_records:
             for shard in plan.shards:
@@ -713,11 +825,37 @@ class ParallelRunner:
         if not tasks:
             return
         if self.workers == 1 or len(tasks) == 1:
-            for task in tasks:
-                outcome = _execute_shard(task, state, crowd, self._handle_message)
-                self._finish_shard(outcome, outcomes)
+            self._execute_inline(tasks, state, crowd, outcomes)
             return
         self._execute_pool(tasks, state, crowd, outcomes)
+
+    def _execute_inline(
+        self,
+        tasks: list[_ShardTask],
+        state: PreparedState,
+        crowd: CrowdSpec,
+        outcomes: dict[int, _ShardOutcome],
+    ) -> None:
+        """Reference semantics, now with the same retry/quarantine loop.
+
+        Only fault-plane failures (injected faults, an exhausted crowd)
+        are retried — a raising ``on_event`` sink or store failure is a
+        parent-side problem and propagates unchanged, mirroring the pool
+        supervisor's split between worker errors and parent errors.
+        """
+        owner = f"pid:{os.getpid()}"
+        for task in tasks:
+            while True:
+                self._acquire_lease(task.shard.shard_id, owner)
+                try:
+                    outcome = _execute_shard(task, state, crowd, self._handle_message)
+                except (faults.InjectedFault, CrowdUnavailableError) as exc:
+                    if self._note_retry(task, f"{type(exc).__name__}: {exc}"):
+                        continue
+                    break
+                self._finish_shard(outcome, outcomes)
+                self._release_lease(task.shard.shard_id)
+                break
 
     def _execute_pool(
         self,
@@ -752,62 +890,259 @@ class ParallelRunner:
             if packed is not None and packed.export_shared():
                 shared_packed = packed
                 obs.count("substrate.shm.exported")
-        task_queue = context.Queue()
-        event_queue = context.Queue()
-        pool_size = min(self.workers, len(tasks))
-        processes = [
-            context.Process(
+        workers: list[_PoolWorker] = []
+        next_worker_index = 0
+
+        def spawn_worker() -> None:
+            nonlocal next_worker_index
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
                 target=_worker_main,
-                args=(state, crowd, task_queue, event_queue),
+                args=(state, crowd, child_conn, next_worker_index),
                 daemon=True,
             )
-            for _ in range(pool_size)
-        ]
-        for process in processes:
+            next_worker_index += 1
             process.start()
-        for task in tasks:
-            task_queue.put(task)
-        for _ in processes:
-            task_queue.put(None)
-        failure: tuple[int, str] | None = None
-        pending = len(tasks)
+            # The parent must not hold the child's pipe end: one writer
+            # per end is the kill-safety invariant.
+            child_conn.close()
+            workers.append(_PoolWorker(process, parent_conn, next_worker_index - 1))
+
+        for _ in range(min(self.workers, len(tasks))):
+            spawn_worker()
+        backlog: list[_ShardTask] = list(tasks)
+        pending = {task.shard.shard_id: task for task in tasks}
         clean_exit = False
         try:
-            while pending and failure is None:
-                try:
-                    message = event_queue.get(timeout=1.0)
-                except queue_module.Empty:
-                    dead = [p for p in processes if not p.is_alive() and p.exitcode]
-                    if dead:
-                        failure = (-1, f"shard worker died with exit code {dead[0].exitcode}")
-                    continue
-                if message[0] == "done":
-                    self._finish_shard(message[2], outcomes)
-                    pending -= 1
-                elif message[0] == "error":
-                    failure = (message[1], message[2])
-                else:
-                    self._handle_message(message)
-            clean_exit = failure is None
+            while pending:
+                self._assign_tasks(workers, backlog)
+                ready = multiprocessing.connection.wait(
+                    [worker.conn for worker in workers], timeout=0.2
+                )
+                for worker in [w for w in workers if w.conn in ready]:
+                    self._drain_worker(worker, pending, backlog, outcomes)
+                self._reap_dead_workers(workers, pending, backlog, spawn_worker)
+            clean_exit = True
         finally:
-            # Terminate on a child failure AND on any parent-side
-            # exception (a raising on_event sink, a failing store write):
-            # otherwise the daemon workers keep running shards whose
-            # checkpoints nobody persists, and join() blocks on them.
-            if not clean_exit:
-                for process in processes:
-                    process.terminate()
-            for process in processes:
-                process.join(timeout=10.0)
+            self._shutdown_pool(workers, graceful=clean_exit)
             if shared_packed is not None:
                 # Workers have joined; nobody maps the segment any more.
                 shared_packed.release_shared()
-        if failure is not None:
-            shard_id, trace = failure
-            phases = {task.shard.shard_id: task.shard.kind for task in tasks}
-            log.error("shard %d failed:\n%s", shard_id, trace)
-            self._emit(ShardEvent(shard_id, "failed", phases.get(shard_id, GRAPH)))
-            raise RuntimeError(f"shard {shard_id} failed:\n{trace}")
+
+    def _assign_tasks(self, workers: list[_PoolWorker], backlog: list) -> None:
+        """Hand backlog tasks to idle, ready workers (supervisor-side)."""
+        for worker in workers:
+            if not backlog:
+                return
+            if worker.task is not None or not worker.ready:
+                continue
+            if not worker.process.is_alive():
+                continue
+            task = backlog.pop(0)
+            worker.task = task
+            self._acquire_lease(task.shard.shard_id, f"pid:{worker.process.pid}")
+            try:
+                worker.conn.send(task)
+            except (BrokenPipeError, OSError):
+                # Died between the liveness check and the send: the reaper
+                # books the retry; the task goes back to the backlog head.
+                worker.task = None
+                self._release_lease(task.shard.shard_id)
+                backlog.insert(0, task)
+                return
+
+    def _drain_worker(
+        self, worker: _PoolWorker, pending: dict, backlog: list, outcomes: dict
+    ) -> None:
+        """Read every complete message the worker's pipe holds."""
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return  # closed pipe; the reaper handles the death
+            kind = message[0]
+            if kind == "ready":
+                worker.ready = True
+            elif kind == "done":
+                _, shard_id, outcome = message
+                worker.task = None
+                # Guard against a duplicate completion: a shard requeued
+                # after a presumed-dead worker may finish twice,
+                # byte-identically — keep the first.
+                if shard_id in pending:
+                    self._finish_shard(outcome, outcomes)
+                    del pending[shard_id]
+                    self._release_lease(shard_id)
+            elif kind == "error":
+                _, shard_id, trace = message
+                worker.task = None
+                task = pending.get(shard_id)
+                if task is not None:
+                    if self._note_retry(task, trace):
+                        backlog.append(task)
+                    else:
+                        del pending[shard_id]
+            else:
+                # Checkpoint/event traffic: a raising on_event sink or
+                # a store failure propagates — parent-side problems are
+                # fatal, and the finally clause tears the pool down so
+                # no worker outlives the failed run.
+                self._handle_message(message)
+
+    def _reap_dead_workers(
+        self, workers: list[_PoolWorker], pending: dict, backlog: list, spawn_worker
+    ) -> None:
+        """Requeue the shards of dead workers and replenish the pool."""
+        dead = [
+            worker
+            for worker in workers
+            if not worker.process.is_alive()
+            and worker.process.exitcode not in (0, None)
+        ]
+        for worker in dead:
+            workers.remove(worker)
+            obs.count("fault.worker_death")
+            log.warning(
+                "shard worker pid %d died with exit code %s",
+                worker.process.pid,
+                worker.process.exitcode,
+            )
+            worker.conn.close()
+            task = worker.task
+            if task is not None and task.shard.shard_id in pending:
+                reason = (
+                    f"worker pid {worker.process.pid} died with exit code"
+                    f" {worker.process.exitcode} while executing shard"
+                    f" {task.shard.shard_id}"
+                )
+                if self._note_retry(task, reason):
+                    backlog.append(task)
+                else:
+                    del pending[task.shard.shard_id]
+        if dead:
+            while pending and len(workers) < min(self.workers, len(pending)):
+                spawn_worker()
+
+    def _note_retry(self, task: _ShardTask, reason: str) -> bool:
+        """Book a shard failure: retry (True) or quarantine (False).
+
+        On retry the task resumes from the latest checkpoint the parent
+        saw, after a capped, jittered exponential backoff; on quarantine
+        the shard is recorded and the run degrades to a
+        :class:`PartialResult` once the healthy shards finish.
+        """
+        shard = task.shard
+        task.attempt += 1
+        if self._store is not None and hasattr(self._store, "bump_shard_attempts"):
+            self._store.bump_shard_attempts(self._run_id, shard.shard_id)
+        self._release_lease(shard.shard_id)
+        if task.attempt <= self.max_shard_retries:
+            checkpoint = self._last_checkpoints.get(shard.shard_id)
+            if checkpoint is not None:
+                task.checkpoint = checkpoint
+            obs.count("fault.shard_retry")
+            log.warning(
+                "shard %d attempt %d failed, requeueing: %s",
+                shard.shard_id,
+                task.attempt,
+                reason.strip().splitlines()[-1] if reason.strip() else reason,
+            )
+            self._emit(
+                ShardEvent(
+                    shard.shard_id,
+                    "retried",
+                    shard.kind,
+                    pairs=shard.num_pairs,
+                    attempt=task.attempt,
+                )
+            )
+            delay = min(2.0, 0.05 * (2 ** (task.attempt - 1)))
+            time.sleep(delay * (0.5 + self._backoff_rng.random()))
+            return True
+        obs.count("fault.quarantine")
+        log.error(
+            "shard %d quarantined after %d attempts:\n%s",
+            shard.shard_id,
+            task.attempt,
+            reason,
+        )
+        self._emit(
+            ShardEvent(
+                shard.shard_id,
+                "quarantined",
+                shard.kind,
+                pairs=shard.num_pairs,
+                attempt=task.attempt,
+            )
+        )
+        self.quarantined.append(
+            {
+                "shard_id": shard.shard_id,
+                "kind": shard.kind,
+                "attempts": task.attempt,
+                "error": reason,
+            }
+        )
+        return False
+
+    def _raise_partial(self, outcomes: dict[int, _ShardOutcome]) -> None:
+        result = merge_shard_results(
+            [(shard_id, outcome.result) for shard_id, outcome in outcomes.items()]
+        )
+        raise PartialResult(result, list(self.quarantined))
+
+    def _shutdown_pool(self, workers: list[_PoolWorker], *, graceful: bool) -> None:
+        """Orderly pool teardown on every exit path.
+
+        Graceful exits hand each worker a sentinel; fatal exits (a
+        parent-side exception) terminate outright.  Either way each pipe
+        is drained *while* joining — a child blocked on a full pipe can
+        then flush and exit — and any straggler is escalated
+        terminate → kill, so no worker process outlives the run.
+        """
+        terminated: set[int] = set()
+        for worker in workers:
+            if not worker.process.is_alive():
+                continue
+            if graceful:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            else:
+                worker.process.terminate()
+                terminated.add(worker.index)
+        deadline = time.monotonic() + 10.0
+        for worker in workers:
+            process = worker.process
+            while process.is_alive() and time.monotonic() < deadline:
+                try:
+                    while worker.conn.poll():
+                        worker.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                process.join(timeout=0.1)
+            if process.is_alive():
+                process.terminate()
+                terminated.add(worker.index)
+                process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+            worker.conn.close()
+            if worker.index not in terminated and process.exitcode not in (0, None):
+                # A worker that died on its own but whose death the run
+                # never had to react to — e.g. a slow-spawning worker
+                # whose startup probe killed it after the last shard
+                # finished — is still a death the telemetry must show.
+                obs.count("fault.worker_death")
+                log.warning(
+                    "shard worker pid %d died with exit code %s during shutdown",
+                    process.pid,
+                    process.exitcode,
+                )
 
     # ------------------------------------------------------------------
     # Parent-side message handling (events + checkpoint persistence)
@@ -817,8 +1152,28 @@ class ParallelRunner:
             self._emit(message[1])
         elif message[0] == "checkpoint":
             _, shard_id, checkpoint = message
+            self._last_checkpoints[shard_id] = checkpoint
             if self._store is not None:
                 self._store.save_shard_checkpoint(self._run_id, shard_id, checkpoint)
+                # Every checkpoint doubles as a heartbeat: the lease stays
+                # fresh exactly as long as the shard keeps making progress.
+                owner = self._lease_owners.get(shard_id)
+                if owner is not None and hasattr(self._store, "heartbeat_shard_lease"):
+                    self._store.heartbeat_shard_lease(
+                        self._run_id, shard_id, owner, ttl=self._lease_ttl
+                    )
+
+    def _acquire_lease(self, shard_id: int, owner: str) -> None:
+        self._lease_owners[shard_id] = owner
+        if self._store is not None and hasattr(self._store, "acquire_shard_lease"):
+            self._store.acquire_shard_lease(
+                self._run_id, shard_id, owner, ttl=self._lease_ttl
+            )
+
+    def _release_lease(self, shard_id: int) -> None:
+        self._lease_owners.pop(shard_id, None)
+        if self._store is not None and hasattr(self._store, "release_shard_lease"):
+            self._store.release_shard_lease(self._run_id, shard_id)
 
     def _finish_shard(
         self, outcome: _ShardOutcome, outcomes: dict[int, _ShardOutcome]
@@ -858,6 +1213,7 @@ class ParallelRunner:
             loops=event.loops,
             questions=event.questions,
             matches=event.matches,
+            attempt=event.attempt,
         )
         log.debug(
             "shard %d %s (%s): pairs=%d loops=%d questions=%d",
@@ -876,6 +1232,7 @@ class ParallelRunner:
 __all__ = [
     "CrowdSpec",
     "ParallelRunner",
+    "PartialResult",
     "ShardEvent",
     "UnitRecord",
     "content_seed",

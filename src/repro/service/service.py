@@ -56,7 +56,7 @@ from repro.obs import runtime as obs
 from repro.obs.artifacts import run_meta
 from repro.obs.live import StoreEventWriter
 from repro.obs.logging import get_logger
-from repro.partition import CrowdSpec, ParallelRunner
+from repro.partition import CrowdSpec, ParallelRunner, PartialResult
 from repro.store import RunStore, config_hash
 from repro.store.store import RunRecord
 from repro.stream import (
@@ -407,6 +407,30 @@ class MatchingSession:
             while self.step():
                 pass
             return self.finalize()
+        except PartialResult as exc:
+            # Graceful degradation: the run failed, but structured — the
+            # error names the quarantined shards and the merged healthy
+            # result stays reachable on the exception itself.
+            ids = [entry["shard_id"] for entry in exc.quarantined]
+            with self._lock:
+                self.status = FAILED
+                self.error = f"PartialResult: {exc}"
+                self._store.fail_run(self.run_id, traceback.format_exc())
+                with StoreEventWriter(self._store, self.run_id):
+                    self._scope.publish(
+                        "status.failed",
+                        error=self.error,
+                        quarantined=ids,
+                        partial_matches=len(exc.result.matches),
+                        partial_questions=exc.result.questions_asked,
+                    )
+            log.error(
+                "run %s degraded: shards %s quarantined (%d healthy matches kept)",
+                self.run_id,
+                ids,
+                len(exc.result.matches),
+            )
+            raise
         except Exception as exc:
             with self._lock:
                 self.status = FAILED

@@ -23,13 +23,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import random
 import sqlite3
 import threading
+import time
 import uuid
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro import faults
 from repro.core.config import RempConfig
 from repro.core.pipeline import LoopCheckpoint, PreparedState, RempResult
 from repro.store.serialize import (
@@ -81,11 +85,15 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     updated_at TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS shard_checkpoints (
-    run_id     TEXT NOT NULL,
-    shard_id   INTEGER NOT NULL,
-    kind       TEXT NOT NULL,
-    payload    TEXT NOT NULL,
-    updated_at TEXT NOT NULL,
+    run_id        TEXT NOT NULL,
+    shard_id      INTEGER NOT NULL,
+    kind          TEXT NOT NULL,
+    payload       TEXT NOT NULL,
+    updated_at    TEXT NOT NULL,
+    lease_owner   TEXT,
+    lease_expires REAL,
+    heartbeat_at  REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (run_id, shard_id)
 );
 CREATE TABLE IF NOT EXISTS stream_units (
@@ -137,7 +145,15 @@ _MIGRATIONS = (
     "ALTER TABLE runs ADD COLUMN stream_step INTEGER",
     "ALTER TABLE runs ADD COLUMN kb_fingerprint TEXT",
     "ALTER TABLE substrate_blobs ADD COLUMN digest TEXT",
+    "ALTER TABLE shard_checkpoints ADD COLUMN lease_owner TEXT",
+    "ALTER TABLE shard_checkpoints ADD COLUMN lease_expires REAL",
+    "ALTER TABLE shard_checkpoints ADD COLUMN heartbeat_at REAL",
+    "ALTER TABLE shard_checkpoints ADD COLUMN attempts INTEGER NOT NULL DEFAULT 0",
 )
+
+#: SQLite error fragments that mark a *transient* write failure — another
+#: process holds the database — and are worth retrying with backoff.
+_TRANSIENT_MARKERS = ("database is locked", "database is busy")
 
 #: Run lifecycle states recorded in the ledger.
 RUN_STATUSES = ("queued", "preparing", "running", "done", "failed")
@@ -208,14 +224,58 @@ class RunStore:
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
+        # Fail-slow under cross-process contention: SQLite itself waits
+        # this long on a locked database before raising, and the _write
+        # wrapper layers bounded retries with jittered backoff on top.
+        busy_ms = int(os.environ.get("REPRO_SQLITE_BUSY_TIMEOUT_MS", "5000"))
+        self._conn.execute(f"PRAGMA busy_timeout = {busy_ms}")
+        self._write_attempts = 1 + max(
+            0, int(os.environ.get("REPRO_STORE_WRITE_RETRIES", "5"))
+        )
+        self._backoff_rng = random.Random(0x5EED)  # never the global RNG
         with self._lock, self._conn:
             self._conn.executescript(_SCHEMA)
             for migration in _MIGRATIONS:
                 try:
                     self._conn.execute(migration)
                 except sqlite3.OperationalError as exc:
-                    if "duplicate column" not in str(exc).lower():
+                    message = str(exc).lower()
+                    if "duplicate column" not in message:
                         raise
+
+    # ------------------------------------------------------------------
+    def _write(self, op: str, fn):
+        """Run one write transaction with bounded retry on transient errors.
+
+        Every mutation goes through here: the ``store.write`` fault probe
+        fires first (so injected failures exercise exactly this recovery
+        path), then ``fn(conn)`` runs inside the lock + transaction.  A
+        ``database is locked/busy`` error or an :class:`InjectedFault`
+        sleeps an exponentially growing, jittered backoff and retries up
+        to ``REPRO_STORE_WRITE_RETRIES`` times; anything else (or an
+        exhausted budget) propagates.
+        """
+        from repro import obs
+
+        last_error: Exception | None = None
+        for attempt in range(self._write_attempts):
+            try:
+                faults.check("store.write", op=op, attempt=attempt)
+                with self._lock, self._conn:
+                    return fn(self._conn)
+            except (sqlite3.OperationalError, faults.InjectedFault) as exc:
+                if isinstance(exc, sqlite3.OperationalError):
+                    message = str(exc).lower()
+                    if not any(marker in message for marker in _TRANSIENT_MARKERS):
+                        raise
+                last_error = exc
+                obs.count("store.write.retry")
+                if attempt + 1 >= self._write_attempts:
+                    break
+                delay = min(0.25, 0.01 * (2**attempt))
+                time.sleep(delay * (0.5 + self._backoff_rng.random()))
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -242,13 +302,16 @@ class RunStore:
         """Persist ``state`` under its cache key; returns the config hash."""
         digest = config_hash(config)
         payload = json.dumps(prepared_state_to_doc(state), sort_keys=True)
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "INSERT OR REPLACE INTO prepared_states"
                 " (dataset, seed, scale, config_hash, payload, created_at)"
                 " VALUES (?, ?, ?, ?, ?, ?)",
                 (dataset, seed, scale, digest, payload, _now()),
             )
+
+        self._write("save_prepared", op)
         return digest
 
     def load_prepared(
@@ -287,9 +350,10 @@ class RunStore:
 
     def clear_prepared(self) -> int:
         """Drop every cached prepared state; returns the number removed."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute("DELETE FROM prepared_states")
-        return cursor.rowcount
+        return self._write(
+            "clear_prepared",
+            lambda conn: conn.execute("DELETE FROM prepared_states").rowcount,
+        )
 
     # ------------------------------------------------------------------
     # Substrate blobs (repro.substrate packed dominance matrices)
@@ -305,13 +369,15 @@ class RunStore:
         rides along and is verified on load, so a corrupt row degrades
         to a re-pack instead of a silently wrong canonical matrix.
         """
-        with self._lock, self._conn:
-            self._conn.execute(
+        def op(conn):
+            conn.execute(
                 "INSERT OR REPLACE INTO substrate_blobs"
                 " (key, rows, cols, payload, digest, created_at)"
                 " VALUES (?, ?, ?, ?, ?, ?)",
                 (key, rows, cols, payload, _blob_digest(payload), _now()),
             )
+
+        self._write("save_substrate_blob", op)
 
     def load_substrate_blob(self, key: str) -> tuple[int, int, bytes] | None:
         """``(rows, cols, payload)`` for a stored matrix, or ``None``.
@@ -329,15 +395,20 @@ class RunStore:
         if row is None:
             return None
         payload = bytes(row["payload"])
+        if faults.check("substrate.blob.load", key=key) == "corrupt" and payload:
+            # Flip bits *before* the digest check so the injected
+            # corruption exercises the real refusal → re-pack path.
+            payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
         if row["digest"] != _blob_digest(payload):
             return None
         return int(row["rows"]), int(row["cols"]), payload
 
     def clear_substrate_blobs(self) -> int:
         """Drop every stored packed matrix; returns the number removed."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute("DELETE FROM substrate_blobs")
-        return cursor.rowcount
+        return self._write(
+            "clear_substrate_blobs",
+            lambda conn: conn.execute("DELETE FROM substrate_blobs").rowcount,
+        )
 
     # ------------------------------------------------------------------
     # Run ledger
@@ -368,8 +439,9 @@ class RunStore:
         """
         run_id = run_id or uuid.uuid4().hex[:12]
         now = _now()
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "INSERT INTO runs (run_id, dataset, seed, scale, config_hash,"
                 " strategy, error_rate, status, config_json, workers,"
                 " parent_run_id, delta_json, stream_step, kb_fingerprint,"
@@ -393,15 +465,20 @@ class RunStore:
                     now,
                 ),
             )
+
+        self._write("create_run", op)
         return run_id
 
     def set_run_fingerprint(self, run_id: str, kb_fingerprint: str) -> None:
         """Record the content fingerprint of the KB pair a run matched."""
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "UPDATE runs SET kb_fingerprint = ?, updated_at = ? WHERE run_id = ?",
                 (kb_fingerprint, _now(), run_id),
             )
+
+        self._write("set_run_fingerprint", op)
 
     def get_run_delta_json(self, run_id: str) -> str | None:
         """The serialized delta a stream run applied (``None`` for roots)."""
@@ -433,25 +510,32 @@ class RunStore:
         resumes keep treating the run as partitioned and pick up its
         shard checkpoints instead of silently reverting to monolithic.
         """
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "UPDATE runs SET workers = ?, updated_at = ? WHERE run_id = ?",
                 (workers, _now(), run_id),
             )
 
+        self._write("set_run_workers", op)
+
     def update_run_status(self, run_id: str, status: str) -> None:
         if status not in RUN_STATUSES:
             raise ValueError(f"unknown run status {status!r}")
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "UPDATE runs SET status = ?, updated_at = ? WHERE run_id = ?",
                 (status, _now(), run_id),
             )
 
+        self._write("update_run_status", op)
+
     def finish_run(self, run_id: str, result: RempResult) -> None:
         """Record the final result, mark ``done`` and drop the checkpoint."""
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "UPDATE runs SET status = 'done', result_json = ?,"
                 " questions_asked = ?, updated_at = ? WHERE run_id = ?",
                 (
@@ -461,19 +545,22 @@ class RunStore:
                     run_id,
                 ),
             )
-            self._conn.execute("DELETE FROM checkpoints WHERE run_id = ?", (run_id,))
-            self._conn.execute(
-                "DELETE FROM shard_checkpoints WHERE run_id = ?", (run_id,)
-            )
+            conn.execute("DELETE FROM checkpoints WHERE run_id = ?", (run_id,))
+            conn.execute("DELETE FROM shard_checkpoints WHERE run_id = ?", (run_id,))
+
+        self._write("finish_run", op)
 
     def fail_run(self, run_id: str, error: str) -> None:
         """Mark ``failed``; the checkpoint is kept so the run can resume."""
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "UPDATE runs SET status = 'failed', error = ?, updated_at = ?"
                 " WHERE run_id = ?",
                 (error, _now(), run_id),
             )
+
+        self._write("fail_run", op)
 
     def get_run(self, run_id: str) -> RunRecord | None:
         with self._lock:
@@ -527,16 +614,19 @@ class RunStore:
         """Overwrite the run's checkpoint and its ledger question count."""
         payload = json.dumps(checkpoint_to_doc(checkpoint), sort_keys=True)
         now = _now()
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "INSERT OR REPLACE INTO checkpoints (run_id, payload, updated_at)"
                 " VALUES (?, ?, ?)",
                 (run_id, payload, now),
             )
-            self._conn.execute(
+            conn.execute(
                 "UPDATE runs SET questions_asked = ?, updated_at = ? WHERE run_id = ?",
                 (checkpoint.questions_asked, now, run_id),
             )
+
+        self._write("save_checkpoint", op)
 
     def load_checkpoint(self, run_id: str) -> LoopCheckpoint | None:
         with self._lock:
@@ -589,13 +679,20 @@ class RunStore:
     def _write_shard_row(
         self, run_id: str, shard_id: int, kind: str, payload: str
     ) -> None:
-        with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO shard_checkpoints"
+        # Upsert (not REPLACE) so checkpoint writes never clobber the
+        # lease/attempt columns the supervisor maintains on the same row.
+        def op(conn):
+            conn.execute(
+                "INSERT INTO shard_checkpoints"
                 " (run_id, shard_id, kind, payload, updated_at)"
-                " VALUES (?, ?, ?, ?, ?)",
+                " VALUES (?, ?, ?, ?, ?)"
+                " ON CONFLICT(run_id, shard_id) DO UPDATE SET"
+                " kind = excluded.kind, payload = excluded.payload,"
+                " updated_at = excluded.updated_at",
                 (run_id, shard_id, kind, payload, _now()),
             )
+
+        self._write("save_shard_checkpoint", op)
 
     def load_shard_records(self, run_id: str) -> dict[int, tuple]:
         """All persisted shard states of a partitioned run.
@@ -614,6 +711,10 @@ class RunStore:
         records: dict[int, tuple] = {}
         for row in rows:
             doc = json.loads(row["payload"])
+            if doc.get("kind") not in ("loop", "done"):
+                # Lease-stub rows carry no execution state; a shard whose
+                # lease exists but never checkpointed restarts from scratch.
+                continue
             if doc["kind"] == "loop":
                 records[row["shard_id"]] = (
                     "loop",
@@ -630,11 +731,157 @@ class RunStore:
 
     def clear_shard_checkpoints(self, run_id: str) -> int:
         """Drop every shard row of a run; returns the number removed."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
+        return self._write(
+            "clear_shard_checkpoints",
+            lambda conn: conn.execute(
                 "DELETE FROM shard_checkpoints WHERE run_id = ?", (run_id,)
+            ).rowcount,
+        )
+
+    # ------------------------------------------------------------------
+    # Shard leases (supervised execution, repro.partition)
+    # ------------------------------------------------------------------
+    # Leases live on the same per-shard rows as the checkpoints: the
+    # supervisor acquires one when a worker claims a shard, heartbeats it
+    # on every checkpoint, and releases it when the shard finishes or is
+    # requeued.  An expired lease is how a *different* process (the
+    # future distributed shard queue) recognises an abandoned shard.
+
+    def acquire_shard_lease(
+        self,
+        run_id: str,
+        shard_id: int,
+        owner: str,
+        ttl: float = 30.0,
+        *,
+        now: float | None = None,
+    ) -> bool:
+        """Claim a shard for ``owner`` for ``ttl`` seconds.
+
+        Succeeds when the shard has no lease, the lease already belongs
+        to ``owner``, or the previous lease expired.  Creates a stub row
+        (kind ``lease``) when the shard has no checkpoint yet.
+        """
+        if now is None:
+            now = time.time()
+
+        def op(conn):
+            conn.execute(
+                "INSERT OR IGNORE INTO shard_checkpoints"
+                " (run_id, shard_id, kind, payload, updated_at)"
+                " VALUES (?, ?, 'lease', '{}', ?)",
+                (run_id, shard_id, _now()),
             )
-        return cursor.rowcount
+            cursor = conn.execute(
+                "UPDATE shard_checkpoints"
+                " SET lease_owner = ?, lease_expires = ?, heartbeat_at = ?"
+                " WHERE run_id = ? AND shard_id = ?"
+                " AND (lease_owner IS NULL OR lease_owner = ?"
+                "      OR lease_expires IS NULL OR lease_expires < ?)",
+                (owner, now + ttl, now, run_id, shard_id, owner, now),
+            )
+            return cursor.rowcount > 0
+
+        return self._write("acquire_shard_lease", op)
+
+    def heartbeat_shard_lease(
+        self,
+        run_id: str,
+        shard_id: int,
+        owner: str,
+        ttl: float = 30.0,
+        *,
+        now: float | None = None,
+    ) -> bool:
+        """Extend ``owner``'s lease; fails if the lease moved elsewhere."""
+        if now is None:
+            now = time.time()
+
+        def op(conn):
+            cursor = conn.execute(
+                "UPDATE shard_checkpoints"
+                " SET lease_expires = ?, heartbeat_at = ?"
+                " WHERE run_id = ? AND shard_id = ? AND lease_owner = ?",
+                (now + ttl, now, run_id, shard_id, owner),
+            )
+            return cursor.rowcount > 0
+
+        return self._write("heartbeat_shard_lease", op)
+
+    def release_shard_lease(
+        self, run_id: str, shard_id: int, owner: str | None = None
+    ) -> bool:
+        """Clear a shard's lease (any owner's, unless one is named)."""
+
+        def op(conn):
+            query = (
+                "UPDATE shard_checkpoints SET lease_owner = NULL,"
+                " lease_expires = NULL WHERE run_id = ? AND shard_id = ?"
+            )
+            params: tuple = (run_id, shard_id)
+            if owner is not None:
+                query += " AND lease_owner = ?"
+                params = (*params, owner)
+            return conn.execute(query, params).rowcount > 0
+
+        return self._write("release_shard_lease", op)
+
+    def expired_shard_leases(
+        self, run_id: str, *, now: float | None = None
+    ) -> list[int]:
+        """Shard ids whose lease is held but past its expiry."""
+        if now is None:
+            now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard_id FROM shard_checkpoints"
+                " WHERE run_id = ? AND lease_owner IS NOT NULL"
+                " AND lease_expires IS NOT NULL AND lease_expires < ?"
+                " ORDER BY shard_id",
+                (run_id, now),
+            ).fetchall()
+        return [row["shard_id"] for row in rows]
+
+    def shard_lease(self, run_id: str, shard_id: int) -> dict | None:
+        """The lease columns of one shard row, or ``None`` if no row."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT lease_owner, lease_expires, heartbeat_at, attempts"
+                " FROM shard_checkpoints WHERE run_id = ? AND shard_id = ?",
+                (run_id, shard_id),
+            ).fetchone()
+        if row is None:
+            return None
+        return {
+            "owner": row["lease_owner"],
+            "expires": row["lease_expires"],
+            "heartbeat_at": row["heartbeat_at"],
+            "attempts": row["attempts"],
+        }
+
+    def bump_shard_attempts(self, run_id: str, shard_id: int) -> int:
+        """Increment a shard's durable attempt counter; returns the total."""
+
+        def op(conn):
+            conn.execute(
+                "INSERT OR IGNORE INTO shard_checkpoints"
+                " (run_id, shard_id, kind, payload, updated_at)"
+                " VALUES (?, ?, 'lease', '{}', ?)",
+                (run_id, shard_id, _now()),
+            )
+            conn.execute(
+                "UPDATE shard_checkpoints SET attempts = attempts + 1"
+                " WHERE run_id = ? AND shard_id = ?",
+                (run_id, shard_id),
+            )
+            row = conn.execute(
+                "SELECT attempts FROM shard_checkpoints"
+                " WHERE run_id = ? AND shard_id = ?",
+                (run_id, shard_id),
+            ).fetchone()
+            return int(row["attempts"])
+
+        return self._write("bump_shard_attempts", op)
 
     # ------------------------------------------------------------------
     # Stream unit records (incremental runs, repro.stream)
@@ -646,18 +893,20 @@ class RunStore:
         are what the next ``update()`` reuses for clean closures.
         """
         now = _now()
-        with self._lock, self._conn:
-            self._conn.execute(
-                "DELETE FROM stream_units WHERE run_id = ?", (run_id,)
-            )
-            self._conn.executemany(
+        payloads = [
+            (run_id, key, json.dumps(doc, sort_keys=True), now)
+            for key, doc in records.items()
+        ]
+
+        def op(conn):
+            conn.execute("DELETE FROM stream_units WHERE run_id = ?", (run_id,))
+            conn.executemany(
                 "INSERT INTO stream_units (run_id, unit_key, payload, updated_at)"
                 " VALUES (?, ?, ?, ?)",
-                [
-                    (run_id, key, json.dumps(doc, sort_keys=True), now)
-                    for key, doc in records.items()
-                ],
+                payloads,
             )
+
+        self._write("replace_unit_records", op)
 
     def load_unit_record_docs(self, run_id: str) -> dict[str, dict]:
         """All unit record documents of a stream run, keyed by content key."""
@@ -671,25 +920,29 @@ class RunStore:
 
     def clear_unit_records(self, run_id: str) -> int:
         """Drop a stream run's unit records; returns the number removed."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
+        return self._write(
+            "clear_unit_records",
+            lambda conn: conn.execute(
                 "DELETE FROM stream_units WHERE run_id = ?", (run_id,)
-            )
-        return cursor.rowcount
+            ).rowcount,
+        )
 
     # ------------------------------------------------------------------
     # Kernel / stage timing profiles (repro.accel)
     # ------------------------------------------------------------------
     def save_run_timings(self, run_id: str, timings: dict) -> None:
         """Persist a run's stage/kernel timing profile (JSON document)."""
-        with self._lock, self._conn:
-            self._conn.execute(
+
+        def op(conn):
+            conn.execute(
                 "INSERT INTO run_timings (run_id, payload, updated_at)"
                 " VALUES (?, ?, ?)"
                 " ON CONFLICT(run_id) DO UPDATE SET"
                 " payload = excluded.payload, updated_at = excluded.updated_at",
                 (run_id, json.dumps(timings, sort_keys=True), _now()),
             )
+
+        self._write("save_run_timings", op)
 
     def load_run_timings(self, run_id: str) -> dict | None:
         """The timing profile saved for a run, or ``None``."""
@@ -710,14 +963,16 @@ class RunStore:
         ``meta`` and ``cost_ledger`` sections the artifact exporter
         materialises into ``runs/<run_id>/``.
         """
-        with self._lock, self._conn:
-            self._conn.execute(
+        def op(conn):
+            conn.execute(
                 "INSERT INTO run_obs (run_id, payload, updated_at)"
                 " VALUES (?, ?, ?)"
                 " ON CONFLICT(run_id) DO UPDATE SET"
                 " payload = excluded.payload, updated_at = excluded.updated_at",
                 (run_id, json.dumps(doc, sort_keys=True), _now()),
             )
+
+        self._write("save_run_obs", op)
 
     def load_run_obs(self, run_id: str) -> dict | None:
         """The observability document saved for a run, or ``None``."""
@@ -750,8 +1005,9 @@ class RunStore:
         """Append one telemetry event row; returns its sequence number."""
         if ts is None:
             ts = datetime.now(timezone.utc).timestamp()
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
+
+        def op(conn):
+            cursor = conn.execute(
                 "INSERT INTO run_events"
                 " (run_id, ts, kind, shard_id, stream_step, payload)"
                 " VALUES (?, ?, ?, ?, ?, ?)",
@@ -764,7 +1020,9 @@ class RunStore:
                     json.dumps(payload or {}, sort_keys=True),
                 ),
             )
-        return cursor.lastrowid
+            return cursor.lastrowid
+
+        return self._write("append_run_event", op)
 
     def tail_run_events(
         self, run_id: str, after_seq: int = 0, limit: int | None = None
@@ -807,11 +1065,12 @@ class RunStore:
 
     def clear_run_events(self, run_id: str) -> int:
         """Drop a run's telemetry events; returns the number removed."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
+        return self._write(
+            "clear_run_events",
+            lambda conn: conn.execute(
                 "DELETE FROM run_events WHERE run_id = ?", (run_id,)
-            )
-        return cursor.rowcount
+            ).rowcount,
+        )
 
     def active_runs(self) -> list[RunRecord]:
         """Ledger rows still in flight (queued / preparing / running)."""

@@ -13,6 +13,8 @@ slicing/serialization build new containers.  Tests that need to mutate a
 state must prepare their own.
 """
 
+import faulthandler
+
 import pytest
 
 from repro.accel.dominance import _counts_python, strict_dominance_counts
@@ -21,6 +23,28 @@ from repro.accel.runtime import accel_enabled, force_accel
 from repro.core import Remp
 from repro.datasets import clustered_bundle, load_dataset
 from repro.text.literal import literal_set_similarity
+
+
+# ----------------------------------------------------------------------
+# Suite hang ceiling
+# ----------------------------------------------------------------------
+#: Seconds after which a wedged suite dumps stacks and aborts (fallback
+#: when pytest-timeout is absent; CI installs the plugin and passes
+#: ``--timeout`` for per-test granularity instead).
+SUITE_HANG_CEILING = 1800
+
+
+def pytest_configure(config):
+    if not config.pluginmanager.hasplugin("timeout"):
+        # The fault/recovery tests exercise worker kills and queue
+        # teardown; a deadlock there must fail the run loudly, not hang
+        # it forever.  dump_traceback_later is the stdlib's watchdog.
+        faulthandler.dump_traceback_later(SUITE_HANG_CEILING, exit=True)
+
+
+def pytest_unconfigure(config):
+    if not config.pluginmanager.hasplugin("timeout"):
+        faulthandler.cancel_dump_traceback_later()
 
 
 # ----------------------------------------------------------------------
