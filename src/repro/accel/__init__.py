@@ -6,8 +6,11 @@ Python reference paths it replaces — the accel equivalence suite and the
 stream/partition byte-equality oracles pin that contract.
 """
 
+from repro.accel.candidates import intern_signatures, score_candidates
 from repro.accel.dominance import any_strict_dominator, strict_dominance_counts
+from repro.accel.er_graph import accel_groups, relation_adjacency
 from repro.accel.literals import LiteralScorer
+from repro.accel.marginals import exact_marginal_map, matching_plan
 from repro.accel.propagation import IncrementalPropagator
 from repro.accel.runtime import TIMINGS, KernelTimings, accel_enabled, force_accel
 
@@ -17,7 +20,13 @@ __all__ = [
     "KernelTimings",
     "LiteralScorer",
     "accel_enabled",
+    "accel_groups",
     "any_strict_dominator",
+    "exact_marginal_map",
     "force_accel",
+    "intern_signatures",
+    "matching_plan",
+    "relation_adjacency",
+    "score_candidates",
     "strict_dominance_counts",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.accel.candidates import score_candidates
 from repro.accel.runtime import TIMINGS
 from repro.kb.model import KnowledgeBase
 from repro.substrate import current_substrate
@@ -55,6 +56,15 @@ def _token_index(kb: KnowledgeBase) -> tuple[dict[str, frozenset[str]], dict[str
     return token_sets, inverted
 
 
+def _labels_index(kb: KnowledgeBase) -> dict[str, set[str]]:
+    """Raw label → entities carrying it (the ``M_in`` exact-label map)."""
+    labels: dict[str, set[str]] = {}
+    for entity in kb.entities:
+        for label in kb.labels(entity):
+            labels.setdefault(label, set()).add(entity)
+    return labels
+
+
 def generate_candidates(
     kb1: KnowledgeBase,
     kb2: KnowledgeBase,
@@ -86,25 +96,30 @@ def generate_candidates(
             tokens1, _ = _token_index(kb1)
             tokens2, inverted2 = _token_index(kb2)
 
-    labels2: dict[str, set[str]] = {}
-    for entity in kb2.entities:
-        for label in kb2.labels(entity):
-            labels2.setdefault(label, set()).add(entity)
+    if substrate is not None:
+        labels2 = substrate.labels_index(2, kb2, _labels_index)
+    else:
+        labels2 = _labels_index(kb2)
 
     result = CandidateSet()
     with TIMINGS.timed("candidates.score"):
-        for entity1, tset1 in tokens1.items():
-            intersections: dict[str, int] = {}
-            for token in tset1:
-                for entity2 in inverted2.get(token, ()):
-                    intersections[entity2] = intersections.get(entity2, 0) + 1
-            size1 = len(tset1)
-            for entity2, shared in intersections.items():
-                sim = shared / (size1 + len(tokens2[entity2]) - shared)
-                if sim >= threshold:
-                    pair = (entity1, entity2)
-                    result.pairs.add(pair)
-                    result.priors[pair] = sim
+        scored = score_candidates(tokens1, tokens2, inverted2, threshold)
+        if scored is not None:
+            result.pairs.update(scored)
+            result.priors.update(scored)
+        else:
+            for entity1, tset1 in tokens1.items():
+                intersections: dict[str, int] = {}
+                for token in tset1:
+                    for entity2 in inverted2.get(token, ()):
+                        intersections[entity2] = intersections.get(entity2, 0) + 1
+                size1 = len(tset1)
+                for entity2, shared in intersections.items():
+                    sim = shared / (size1 + len(tokens2[entity2]) - shared)
+                    if sim >= threshold:
+                        pair = (entity1, entity2)
+                        result.pairs.add(pair)
+                        result.priors[pair] = sim
 
     for entity1 in kb1.entities:
         for label in kb1.labels(entity1):

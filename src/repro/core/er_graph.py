@@ -154,7 +154,21 @@ def build_er_graph(
     relationships of its two entities, the candidate pairs found inside the
     value-set product become a neighbor group.  Groups are kept per label
     because propagation reasons about one relationship pair at a time.
+
+    The accel path (:mod:`repro.accel.er_graph`) builds the same map by
+    joining per-KB adjacency through partner indexes instead of probing
+    every value-set product cell; it replays this function's vertex and
+    label iteration orders, so the graphs are identical either way.
     """
+    # Imported lazily: the accel package imports this module back.
+    from repro.accel.er_graph import accel_groups
+
+    indexed = accel_groups(kb1, kb2, vertices)
+    if indexed is not None:
+        graph = ERGraph(vertices=set(vertices))
+        graph.groups = indexed
+        return graph
+
     graph = ERGraph(vertices=set(vertices))
     for vertex in vertices:
         entity1, entity2 = vertex

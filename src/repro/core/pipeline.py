@@ -29,7 +29,7 @@ from repro.core.config import RempConfig
 from repro.core.consistency import estimate_all_consistencies
 from repro.core.discovery import inferred_sets
 from repro.core.er_graph import ERGraph, build_er_graph
-from repro.core.isolated import IsolatedPairClassifier, Signature, attribute_signature
+from repro.core.isolated import IsolatedPairClassifier, Signature, build_signatures
 from repro.core.propagation import build_probabilistic_graph
 from repro.core.pruning import partial_order_pruning
 from repro.core.selection import (
@@ -211,14 +211,7 @@ class Remp:
         with TIMINGS.timed("prepare.graph"):
             graph = build_er_graph(kb1, kb2, retained)
         with TIMINGS.timed("prepare.signatures"):
-            signatures = {}
-            for pair in retained:
-                presence = tuple(
-                    bool(kb1.attribute_values(pair[0], m.attr1))
-                    and bool(kb2.attribute_values(pair[1], m.attr2))
-                    for m in attribute_matches
-                )
-                signatures[pair] = attribute_signature(presence)
+            signatures = build_signatures(kb1, kb2, retained, attribute_matches)
         priors = {pair: candidates.priors.get(pair, config.default_prior) for pair in retained}
         return PreparedState(
             kb1=kb1,

@@ -59,9 +59,12 @@ def _reduce_group(
         by_right.setdefault(pair[1], []).append(pair)
     kept: set[Pair] = set()
     for bucket in list(by_left.values()) + list(by_right.values()):
-        bucket.sort(key=lambda p: -priors.get(p, 0.0))
+        bucket.sort(key=lambda p: (-priors.get(p, 0.0), p))
         kept.update(bucket[:per_value])
-    reduced = sorted(kept, key=lambda p: -priors.get(p, 0.0))[:max_pairs]
+    # Ties on prior break on the pair itself: ``kept`` is a set, and a
+    # prior-only key would cut at ``max_pairs`` in hash-seed-dependent
+    # iteration order — different processes would reduce differently.
+    reduced = sorted(kept, key=lambda p: (-priors.get(p, 0.0), p))[:max_pairs]
     return reduced
 
 
@@ -70,39 +73,18 @@ def _marginals_exact(
     priors: dict[Pair, float],
     gamma: float,
 ) -> dict[Pair, float]:
-    """Exact marginal Pr[p ∈ M] over all partial 1:1 matchings by DFS."""
+    """Exact marginal Pr[p ∈ M] over all partial 1:1 matchings.
+
+    The sums over matchings are weighted permanents, evaluated by
+    :mod:`repro.accel.marginals` — a grouped recursion whose memoized
+    form (the accel path) and unmemoized form (the ``REPRO_NO_ACCEL=1``
+    reference) share one expression tree, so both modes return
+    bit-equal floats.
+    """
+    from repro.accel.marginals import exact_marginal_map
+
     odds = [_odds(priors.get(p, 0.5)) * gamma for p in pairs]
-    total_weight = 0.0
-    pair_weight = [0.0] * len(pairs)
-
-    used_left: set[str] = set()
-    used_right: set[str] = set()
-    chosen: list[int] = []
-
-    def recurse(index: int, weight: float) -> None:
-        nonlocal total_weight
-        if index == len(pairs):
-            total_weight += weight
-            for i in chosen:
-                pair_weight[i] += weight
-            return
-        # Exclude pairs[index].
-        recurse(index + 1, weight)
-        # Include pairs[index] if it respects the 1:1 constraint.
-        left, right = pairs[index]
-        if left not in used_left and right not in used_right:
-            used_left.add(left)
-            used_right.add(right)
-            chosen.append(index)
-            recurse(index + 1, weight * odds[index])
-            chosen.pop()
-            used_left.discard(left)
-            used_right.discard(right)
-
-    recurse(0, 1.0)
-    if total_weight <= 0.0:
-        return {p: 0.0 for p in pairs}
-    return {p: pair_weight[i] / total_weight for i, p in enumerate(pairs)}
+    return exact_marginal_map(pairs, odds)
 
 
 def neighbor_marginals(

@@ -87,6 +87,8 @@ class PrepareSubstrate:
         self._lock = threading.RLock()
         self._scorers: dict[float, LiteralScorer] = {}
         self._token_indexes: dict[int, tuple[weakref.ref, object]] = {}
+        self._adjacencies: dict[int, tuple[weakref.ref, object]] = {}
+        self._labels_indexes: dict[int, tuple[weakref.ref, object]] = {}
         self._packed: PackedVectors | None = None
         #: How many prepared states attached (diagnostics + bench).
         self.attached = 0
@@ -123,7 +125,7 @@ class PrepareSubstrate:
             obs.count("substrate.scorer.reused")
         return scorer
 
-    def token_index(self, side: int, kb: KnowledgeBase, builder):
+    def _identity_memo(self, slots: dict, side: int, kb: KnowledgeBase, builder, counter: str):
         """Memoized ``builder(kb)``, keyed by KB side *and identity*.
 
         Identity keying (``is``, against a weak reference to the KB the
@@ -132,13 +134,31 @@ class PrepareSubstrate:
         entry.  The reference is weak so a long-lived arena never pins a
         dropped KB alive — a dead entry simply rebuilds.
         """
-        entry = self._token_indexes.get(side)
+        entry = slots.get(side)
         if entry is not None and entry[0]() is kb:
-            obs.count("substrate.token_index.reused")
+            obs.count(counter)
             return entry[1]
         result = builder(kb)
-        self._token_indexes[side] = (weakref.ref(kb), result)
+        slots[side] = (weakref.ref(kb), result)
         return result
+
+    def token_index(self, side: int, kb: KnowledgeBase, builder):
+        """The side's candidate token index (see :meth:`_identity_memo`)."""
+        return self._identity_memo(
+            self._token_indexes, side, kb, builder, "substrate.token_index.reused"
+        )
+
+    def er_adjacency(self, side: int, kb: KnowledgeBase, builder):
+        """The side's ER-graph relation adjacency snapshot, memoized."""
+        return self._identity_memo(
+            self._adjacencies, side, kb, builder, "substrate.er_adjacency.reused"
+        )
+
+    def labels_index(self, side: int, kb: KnowledgeBase, builder):
+        """The side's raw label → entities map, memoized."""
+        return self._identity_memo(
+            self._labels_indexes, side, kb, builder, "substrate.labels_index.reused"
+        )
 
     # -- packed matrix --------------------------------------------------
     def attach(self, state, store=None, persist=True):

@@ -26,9 +26,17 @@ from repro.accel.dominance import (
     any_strict_dominator,
     strict_dominance_counts,
 )
+from repro.accel.candidates import score_candidates
 from repro.accel.literals import LiteralScorer
+from repro.accel.marginals import _marginals_dp, _marginals_reference
 from repro.accel.runtime import accel_enabled, force_accel
 from repro.core import Remp, RempConfig
+from repro.core.attributes import AttributeMatch
+from repro.core.candidates import _token_index
+from repro.core.er_graph import build_er_graph
+from repro.core.isolated import build_signatures
+from repro.core.propagation import _marginals_exact, _odds
+from repro.kb.model import KnowledgeBase
 from repro.core.pruning import partial_order_pruning, pruning_error_rate
 from repro.core.vectors import VectorIndex
 from repro.crowd import CrowdPlatform
@@ -257,3 +265,197 @@ def test_accel_enabled_by_default_and_env_gated(monkeypatch):
     assert not accel_enabled()
     monkeypatch.setenv("REPRO_NO_ACCEL", "")
     assert accel_enabled()
+
+
+# ----------------------------------------------------------------------
+# Kernel-floor properties: marginals, ER graph, candidates, signatures
+# ----------------------------------------------------------------------
+def _random_world_pairs(draw, max_side=6, max_pairs=12):
+    n_left = draw(st.integers(min_value=1, max_value=max_side))
+    n_right = draw(st.integers(min_value=1, max_value=max_side))
+    universe = [(f"l{i}", f"r{j}") for i in range(n_left) for j in range(n_right)]
+    pairs = draw(
+        st.lists(
+            st.sampled_from(universe), min_size=1, max_size=max_pairs, unique=True
+        )
+    )
+    return sorted(pairs)
+
+
+@st.composite
+def _marginal_groups(draw):
+    pairs = _random_world_pairs(draw)
+    # Repeated 0.5s force prior ties; missing entries take the default.
+    prior = st.sampled_from([0.1, 0.25, 0.5, 0.5, 0.5, 0.9, 0.99])
+    priors = {p: draw(prior) for p in pairs if draw(st.booleans())}
+    gamma = draw(st.sampled_from([0.01, 0.5, 1.0, 2.0]))
+    return pairs, priors, gamma
+
+
+@settings(max_examples=80, deadline=None)
+@given(_marginal_groups())
+def test_marginal_dp_matches_reference(group):
+    """The memoized permanent DP is bit-equal to the plain recursion."""
+    pairs, priors, gamma = group
+    odds = [_odds(priors.get(p, 0.5)) * gamma for p in pairs]
+    reference = _marginals_reference(pairs, odds)
+    dp = _marginals_dp(pairs, odds)
+    assert list(dp) == list(reference)
+    assert all(dp[p].hex() == reference[p].hex() for p in pairs)
+    with force_accel(True):
+        on = _marginals_exact(pairs, priors, gamma)
+    with force_accel(False):
+        off = _marginals_exact(pairs, priors, gamma)
+    assert all(on[p].hex() == off[p].hex() for p in pairs)
+
+
+@st.composite
+def _relational_worlds(draw):
+    size = draw(st.integers(min_value=2, max_value=7))
+    relations = ("directed", "acted_in", "cites")
+    triple = st.tuples(
+        st.integers(min_value=0, max_value=size - 1),
+        st.sampled_from(relations),
+        st.integers(min_value=0, max_value=size - 1),
+    )
+    kb1 = KnowledgeBase("hw1")
+    kb2 = KnowledgeBase("hw2")
+    for i in range(size):
+        kb1.add_entity(f"a{i}")
+        kb2.add_entity(f"b{i}")
+    for s, rel, t in draw(st.lists(triple, max_size=24)):
+        kb1.add_relationship_triple(f"a{s}", rel, f"a{t}")
+    for s, rel, t in draw(st.lists(triple, max_size=24)):
+        kb2.add_relationship_triple(f"b{s}", rel, f"b{t}")
+    vertex = st.tuples(
+        st.integers(min_value=0, max_value=size - 1),
+        st.integers(min_value=0, max_value=size - 1),
+    )
+    vertices = [
+        (f"a{i}", f"b{j}")
+        for i, j in draw(st.lists(vertex, min_size=1, max_size=16, unique=True))
+    ]
+    return kb1, kb2, vertices
+
+
+@settings(max_examples=60, deadline=None)
+@given(_relational_worlds())
+def test_er_graph_kernel_matches_reference(world):
+    """Adjacency-joined groups replay the reference's dict orders exactly."""
+    kb1, kb2, vertices = world
+    with force_accel(True):
+        accel = build_er_graph(kb1, kb2, vertices)
+    with force_accel(False):
+        pure = build_er_graph(kb1, kb2, vertices)
+    assert accel.vertices == pure.vertices
+    assert list(accel.groups) == list(pure.groups)
+    for vertex, by_label in pure.groups.items():
+        assert list(accel.groups[vertex]) == list(by_label)
+        for label, members in by_label.items():
+            assert accel.groups[vertex][label] == members
+
+
+@st.composite
+def _label_worlds(draw):
+    tokens = ("north", "star", "blue", "rock", "film", "x1")
+    label = st.lists(
+        st.sampled_from(tokens), min_size=1, max_size=3, unique=True
+    ).map(" ".join)
+    kb1 = KnowledgeBase("lw1")
+    kb2 = KnowledgeBase("lw2")
+    for i, text in enumerate(draw(st.lists(label, min_size=1, max_size=12))):
+        kb1.add_entity(f"p{i}", label=text)
+    for j, text in enumerate(draw(st.lists(label, min_size=1, max_size=12))):
+        kb2.add_entity(f"q{j}", label=text)
+    threshold = draw(st.sampled_from([0.3, 0.5, 1.0]))
+    return kb1, kb2, threshold
+
+
+@settings(max_examples=60, deadline=None)
+@given(_label_worlds())
+def test_candidate_scoring_kernel_matches_reference(world):
+    """The vectorized postings join scores bit-equal Jaccard priors."""
+    kb1, kb2, threshold = world
+    tokens1, _ = _token_index(kb1)
+    tokens2, inverted2 = _token_index(kb2)
+    expected: dict[tuple[str, str], float] = {}
+    for entity1, tset1 in tokens1.items():
+        intersections: dict[str, int] = {}
+        for token in tset1:
+            for entity2 in inverted2.get(token, ()):
+                intersections[entity2] = intersections.get(entity2, 0) + 1
+        for entity2, shared in intersections.items():
+            sim = shared / (len(tset1) + len(tokens2[entity2]) - shared)
+            if sim >= threshold:
+                expected[(entity1, entity2)] = sim
+    with force_accel(True):
+        scored = score_candidates(
+            tokens1, tokens2, inverted2, threshold, min_entities=0
+        )
+    assert scored is not None
+    assert scored.keys() == expected.keys()
+    assert all(scored[pair].hex() == expected[pair].hex() for pair in expected)
+
+
+@st.composite
+def _attribute_worlds(draw):
+    attrs = ("year", "runtime", "budget", "rating")
+    size = draw(st.integers(min_value=1, max_value=6))
+    kb1 = KnowledgeBase("aw1")
+    kb2 = KnowledgeBase("aw2")
+    cell = st.tuples(
+        st.integers(min_value=0, max_value=size - 1), st.sampled_from(attrs)
+    )
+    for i in range(size):
+        kb1.add_entity(f"a{i}")
+        kb2.add_entity(f"b{i}")
+    for i, attr in draw(st.lists(cell, max_size=12)):
+        kb1.add_attribute_triple(f"a{i}", attr, 1)
+    for i, attr in draw(st.lists(cell, max_size=12)):
+        kb2.add_attribute_triple(f"b{i}", attr, 1)
+    matches = [
+        AttributeMatch(attr, attr, 1.0) for attr in draw(st.sets(st.sampled_from(attrs)))
+    ]
+    vertex = st.tuples(
+        st.integers(min_value=0, max_value=size - 1),
+        st.integers(min_value=0, max_value=size - 1),
+    )
+    retained = [
+        (f"a{i}", f"b{j}")
+        for i, j in draw(st.lists(vertex, min_size=1, max_size=12, unique=True))
+    ]
+    return kb1, kb2, retained, matches
+
+
+@settings(max_examples=60, deadline=None)
+@given(_attribute_worlds())
+def test_signature_interning_matches_reference(world):
+    """Interned signatures equal the per-pair accessor loop's, key order too."""
+    kb1, kb2, retained, matches = world
+    with force_accel(True):
+        interned = build_signatures(kb1, kb2, retained, matches)
+    with force_accel(False):
+        reference = build_signatures(kb1, kb2, retained, matches)
+    assert list(interned) == list(reference)
+    assert interned == reference
+    by_value: dict[frozenset, int] = {}
+    for signature in interned.values():
+        previous = by_value.setdefault(signature, id(signature))
+        assert previous == id(signature), "equal signatures must be one object"
+
+
+def test_prepare_byte_identity_above_scoring_cutoff():
+    """Full-prepare identity on a world large enough to engage the
+    vectorized scoring kernel (the small bundle stays below its cutoff)."""
+    bundle = clustered_bundle(
+        num_clusters=6,
+        movies_per_cluster=5,
+        seed=0,
+        label_noise=0.5,
+        critics_per_cluster=2,
+    )
+    with force_accel(True):
+        doc_on = prepared_state_to_doc(Remp().prepare(bundle.kb1, bundle.kb2))
+    with force_accel(False):
+        doc_off = prepared_state_to_doc(Remp().prepare(bundle.kb1, bundle.kb2))
+    assert _dump(doc_on) == _dump(doc_off)

@@ -120,3 +120,47 @@ class TestBuildProbabilisticGraph:
         # neutral epsilon 0.5 -> gamma 1 -> marginal equals normalized prior
         forward = prob.probability(("yTim", "dTim"), ("yCradle", "dCradle"))
         assert 0.2 < forward < 0.8
+
+
+class TestReduceGroupDeterminism:
+    def test_tie_break_is_deterministic_across_hash_seeds(self):
+        """Equal-prior ties must not fall back to set iteration order.
+
+        The reduction sorts a ``set``; with a prior-only key, the pairs
+        cut at ``max_pairs`` would follow hash-seed-dependent set order
+        and differ across processes.  Run the same tie-heavy reduction
+        in two subprocesses with different ``PYTHONHASHSEED`` values
+        and require identical output.
+        """
+        import json
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = (
+            "import json, sys\n"
+            "from repro.core.propagation import _reduce_group\n"
+            "pairs = [(f'l{i}', f'r{j}') for i in range(6) for j in range(6)]\n"
+            "priors = {p: 0.5 for p in pairs}\n"
+            "priors[('l0', 'r0')] = 0.9\n"
+            "print(json.dumps(_reduce_group(pairs, priors, 12, 3)))\n"
+        )
+        outputs = []
+        for seed in ("1", "20"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src_dir, env.get("PYTHONPATH", "")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(json.loads(proc.stdout))
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0]) == 12
